@@ -1,0 +1,63 @@
+"""Ablation: flat vs hierarchical (shared-cache-aware) HLS barrier.
+
+Section IV-B: "For all scopes except numa and node we implement a
+simple flat algorithm with a counter and a lock.  For the larger
+scopes, we implement a shared-cache aware barrier: all MPI tasks in the
+same llc scope synchronize first and only one of them goes to the next
+scope.  This way, locks and counters stay in the shared cache."
+
+The wall-clock of Python threads does not expose cache locality, so the
+bench reports both: measured wall time per barrier *and* the count of
+synchronisation operations crossing an LLC boundary -- the quantity the
+hierarchical algorithm minimises (32 -> 4 per episode on the 4-socket
+node).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.hls import HLSProgram
+from repro.machine import ScopeSpec, nehalem_ex_node
+from repro.runtime import Runtime
+
+EPISODES = 30
+
+
+def run_barriers(algorithm: str):
+    machine = nehalem_ex_node()
+    rt = Runtime(machine, timeout=30.0)
+    prog = HLSProgram(rt, barrier_algorithm=algorithm)
+    prog.declare("v", shape=(1,), scope="node")
+
+    def main(ctx):
+        h = prog.attach(ctx)
+        for _ in range(EPISODES):
+            h.barrier("v")
+
+    rt.run(main)
+    inst = machine.scope_instance(0, ScopeSpec.parse("node"))
+    state = prog.sync.state(inst)
+    return state
+
+
+@pytest.mark.parametrize("algorithm", ["flat", "hierarchical"])
+def test_barrier_algorithm(benchmark, algorithm):
+    state = run_once(benchmark, run_barriers, algorithm)
+    benchmark.extra_info["cross_llc_ops"] = state.cross_ops
+    benchmark.extra_info["local_ops"] = state.local_ops
+    benchmark.extra_info["episodes"] = state.epoch
+    assert state.epoch == EPISODES
+
+
+def test_hierarchical_reduces_cross_traffic(benchmark):
+    def run_both():
+        return run_barriers("flat"), run_barriers("hierarchical")
+
+    flat, hier = run_once(benchmark, run_both)
+    benchmark.extra_info["flat_cross"] = flat.cross_ops
+    benchmark.extra_info["hier_cross"] = hier.cross_ops
+    # flat: every arrival crosses (32/episode); hierarchical: one per
+    # socket (4/episode) -- an 8x reduction on the 4x8 node.
+    assert flat.cross_ops == 32 * EPISODES
+    assert hier.cross_ops == 4 * EPISODES
+    assert hier.local_ops == 32 * EPISODES

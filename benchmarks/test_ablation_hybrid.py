@@ -1,0 +1,84 @@
+"""Ablation: pure MPI + HLS vs hybrid MPI/OpenMP (the intro's argument).
+
+"Going to hybrid can thus improve the overall memory consumption, but
+may be a tedious task [...] To minimize data duplication, only one MPI
+task per node should be created [...] Portions of the code that are not
+in OpenMP parallel regions are only executed by one core which reduces
+the potential speedup.  This is especially true for MPI communications
+which are often outside OpenMP parallel regions (called Master-only)."
+
+The bench sweeps the tasks x threads decompositions of an 8-core node
+and records, for a workload with one large shareable table:
+
+* per-node memory of the table (duplicated per task),
+* modeled timestep duration under master-only communication,
+
+then shows pure-MPI + HLS achieving the best hybrid's memory at the
+best pure-MPI time.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.hls import HLSProgram
+from repro.machine import core2_cluster
+from repro.omp import HybridLayout, hybrid_layouts, master_only_time
+from repro.runtime import Runtime
+
+TABLE = 128 << 20          # the shareable table
+COMPUTE = 10.0             # per-core compute per step
+COMM = 1.0                 # per-task-stream comm per thread's data
+
+
+def eval_layout(layout: HybridLayout):
+    return {
+        "memory": layout.memory_per_node(TABLE),
+        "time": master_only_time(
+            layout, compute_per_core=COMPUTE, comm_per_task_stream=COMM
+        ),
+    }
+
+
+def eval_hls():
+    rt = Runtime(core2_cluster(1), n_tasks=8, timeout=10.0)
+    prog = HLSProgram(rt)
+    prog.declare("table", shape=(8,), scope="node", virtual_bytes=TABLE)
+    rt.run(lambda ctx: prog.attach(ctx)["table"].sum())
+    pure = HybridLayout(8, 1)
+    return {
+        "memory": prog.storage.hls_images_bytes(),
+        "time": master_only_time(
+            pure, compute_per_core=COMPUTE, comm_per_task_stream=COMM
+        ),
+    }
+
+
+@pytest.mark.parametrize(
+    "layout", hybrid_layouts(8), ids=lambda l: f"{l.tasks_per_node}x{l.threads_per_task}"
+)
+def test_hybrid_layout(benchmark, layout):
+    result = run_once(benchmark, eval_layout, layout)
+    benchmark.extra_info["memory_mb"] = result["memory"] >> 20
+    benchmark.extra_info["time"] = result["time"]
+
+
+def test_hls_dominates_hybrid_tradeoff(benchmark):
+    """HLS = best hybrid memory AND best pure-MPI time simultaneously."""
+    def run_all():
+        hybrids = {(l.tasks_per_node, l.threads_per_task): eval_layout(l)
+                   for l in hybrid_layouts(8)}
+        return hybrids, eval_hls()
+
+    hybrids, hls = run_once(benchmark, run_all)
+    best_mem = min(h["memory"] for h in hybrids.values())
+    best_time = min(h["time"] for h in hybrids.values())
+    # no single hybrid layout achieves both optima...
+    assert not any(
+        h["memory"] == best_mem and h["time"] == best_time
+        for h in hybrids.values()
+    )
+    # ...but pure MPI + HLS does.
+    assert hls["memory"] == pytest.approx(best_mem, rel=0.01)
+    assert hls["time"] == best_time
+    benchmark.extra_info["hls_memory_mb"] = hls["memory"] >> 20
+    benchmark.extra_info["hls_time"] = hls["time"]

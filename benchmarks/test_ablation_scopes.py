@@ -1,0 +1,45 @@
+"""Ablation: scope choice under write traffic.
+
+The design point figure 1 illustrates: widening the scope saves more
+memory but exposes written variables to more invalidation traffic.
+Sweeps the mesh-update (update version) across scopes and records both
+the efficiency and the memory saving, showing the trade-off the
+``level`` clause exists for.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.mesh_update import MeshUpdateConfig, run_mesh_update
+
+FAST = dict(size="small", update=True, read_cap=2048, steps=1, warmup_steps=1)
+
+#: copies of the table on the 4-socket/32-core node per scope
+COPIES = {"none": 32, "numa": 4, "node": 1}
+
+
+@pytest.mark.parametrize("variant", ["none", "numa", "node"])
+def test_scope_tradeoff(benchmark, variant):
+    cfg = MeshUpdateConfig(variant=variant, **FAST)
+    result = run_once(benchmark, run_mesh_update, cfg)
+    saving_factor = COPIES["none"] / COPIES[variant]
+    benchmark.extra_info["efficiency"] = round(result.efficiency, 3)
+    benchmark.extra_info["memory_saving_factor"] = saving_factor
+    benchmark.extra_info["invalidations"] = result.invalidations
+
+
+def test_tradeoff_shape(benchmark):
+    """node saves the most memory but numa keeps the best efficiency
+    under updates -- the reason scopes exist."""
+    def run_all():
+        return {
+            v: run_mesh_update(MeshUpdateConfig(variant=v, **FAST))
+            for v in ("none", "numa", "node")
+        }
+
+    res = run_once(benchmark, run_all)
+    assert res["node"].efficiency > res["none"].efficiency
+    assert res["numa"].efficiency >= res["node"].efficiency
+    benchmark.extra_info.update(
+        {v: round(r.efficiency, 3) for v, r in res.items()}
+    )

@@ -1,0 +1,90 @@
+"""Ablation: listing 1 vs listing 2 -- singles vs barriers + nowait.
+
+The paper notes the explicit-barrier version (listing 2) "reduces the
+number of synchronizations by a factor of 2": each plain ``single`` is
+a fused barrier, so K protected writes per round cost K barrier
+episodes, while the listing-2 pattern brackets *all* K nowait singles
+between two explicit barriers -- 2 episodes regardless of K.  With
+K = 4 variables the reduction is the paper's factor of 2.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.hls import HLSProgram
+from repro.machine import ScopeSpec, nehalem_ex_node
+from repro.runtime import Runtime
+
+ROUNDS = 10
+VARS = ("a", "b", "c", "d")
+
+
+def _setup():
+    machine = nehalem_ex_node()
+    rt = Runtime(machine, timeout=30.0)
+    prog = HLSProgram(rt)
+    for i, v in enumerate(VARS):
+        prog.declare(v, shape=(1,), scope="node",
+                     initializer=lambda i=i: [float(i)])
+    return machine, rt, prog
+
+
+def _state(machine, prog):
+    inst = machine.scope_instance(0, ScopeSpec.parse("node"))
+    return prog.sync.state(inst)
+
+
+def run_listing1():
+    """One blocking single per variable per round (listing 1)."""
+    machine, rt, prog = _setup()
+
+    def main(ctx):
+        h = prog.attach(ctx)
+        for r in range(ROUNDS):
+            for i, v in enumerate(VARS):
+                h.single(v, lambda v=v, val=float(r + i): h[v].__setitem__(0, val))
+            assert h["a"][0] == float(r)
+
+    rt.run(main)
+    return _state(machine, prog)
+
+
+def run_listing2():
+    """Two explicit barriers around K nowait singles (listing 2)."""
+    machine, rt, prog = _setup()
+
+    def main(ctx):
+        h = prog.attach(ctx)
+        for r in range(ROUNDS):
+            h.barrier(VARS)
+            for i, v in enumerate(VARS):
+                if h.single_enter(v, nowait=True):
+                    h[v][0] = float(r + i)
+            h.barrier(VARS)
+            assert h["a"][0] == float(r)
+
+    rt.run(main)
+    return _state(machine, prog)
+
+
+@pytest.mark.parametrize(
+    "name,runner", [("listing1_singles", run_listing1),
+                    ("listing2_nowait", run_listing2)]
+)
+def test_single_patterns(benchmark, name, runner):
+    state = run_once(benchmark, runner)
+    benchmark.extra_info["barrier_episodes"] = state.epoch
+    benchmark.extra_info["nowait_singles"] = state.nowait_shared
+
+
+def test_listing2_halves_synchronisations(benchmark):
+    def run_both():
+        return run_listing1(), run_listing2()
+
+    l1, l2 = run_once(benchmark, run_both)
+    benchmark.extra_info["listing1_episodes"] = l1.epoch
+    benchmark.extra_info["listing2_episodes"] = l2.epoch
+    assert l1.epoch == len(VARS) * ROUNDS     # one fused barrier per single
+    assert l2.epoch == 2 * ROUNDS             # two barriers per round
+    assert l2.nowait_shared == len(VARS) * ROUNDS
+    assert l1.epoch == 2 * l2.epoch           # the paper's factor of 2

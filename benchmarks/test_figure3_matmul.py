@@ -1,0 +1,52 @@
+"""Figure 3 bench: matmul with a shared B, per variant and size regime.
+
+Paper shape: sequential fastest; the regular MPI program exits the
+shared cache first; HLS exits later; in the update version numa beats
+node while B is cache-resident.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.matmul import MatmulConfig, run_matmul
+
+TASKS = 16
+
+
+@pytest.mark.parametrize("variant", ["seq", "none", "node", "numa"])
+@pytest.mark.parametrize("n", [16, 48], ids=["incache", "offcache"])
+def test_figure3_noupdate(benchmark, variant, n):
+    cfg = MatmulConfig(n=n, variant=variant, tasks=TASKS)
+    result = run_once(benchmark, run_matmul, cfg)
+    benchmark.extra_info["flops_per_cycle"] = round(result.perf, 3)
+    assert result.perf > 0
+
+
+def test_figure3_ordering_offcache(benchmark):
+    """seq >= HLS > none at the discriminating size."""
+    def run_all():
+        return {
+            v: run_matmul(MatmulConfig(n=48, variant=v, tasks=TASKS)).perf
+            for v in ("seq", "none", "node")
+        }
+
+    perfs = run_once(benchmark, run_all)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in perfs.items()})
+    assert perfs["seq"] >= perfs["node"] * 0.95
+    assert perfs["node"] > perfs["none"] * 1.2
+
+
+def test_figure3_update_numa_beats_node(benchmark):
+    def run_pair():
+        node = run_matmul(
+            MatmulConfig(n=24, variant="node", update=True, tasks=TASKS)
+        ).perf
+        numa = run_matmul(
+            MatmulConfig(n=24, variant="numa", update=True, tasks=TASKS)
+        ).perf
+        return node, numa
+
+    node, numa = run_once(benchmark, run_pair)
+    benchmark.extra_info["node"] = round(node, 3)
+    benchmark.extra_info["numa"] = round(numa, 3)
+    assert numa > node

@@ -1,0 +1,50 @@
+"""Table I bench: mesh-update parallel efficiency per variant.
+
+Paper row being reproduced (small setting): without HLS 37%/30%,
+HLS node 94%/65%, HLS numa 94%/88% (no-update/update).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.mesh_update import MeshUpdateConfig, run_mesh_update
+
+FAST = dict(read_cap=2048, steps=1, warmup_steps=1)
+
+PAPER_SMALL = {
+    ("none", False): 0.37, ("none", True): 0.30,
+    ("node", False): 0.94, ("node", True): 0.65,
+    ("numa", False): 0.94, ("numa", True): 0.88,
+}
+
+
+@pytest.mark.parametrize("variant", ["none", "node", "numa"])
+@pytest.mark.parametrize("update", [False, True], ids=["noupdate", "update"])
+def test_table1_small(benchmark, variant, update):
+    cfg = MeshUpdateConfig(size="small", update=update, variant=variant, **FAST)
+    result = run_once(benchmark, run_mesh_update, cfg)
+    benchmark.extra_info["efficiency"] = round(result.efficiency, 3)
+    benchmark.extra_info["paper_efficiency"] = PAPER_SMALL[(variant, update)]
+    benchmark.extra_info["invalidations"] = result.invalidations
+    # shape assertion: HLS variants far above the without-HLS baseline
+    if variant == "none":
+        assert result.efficiency < 0.6
+    else:
+        assert result.efficiency > 0.55
+
+
+def test_table1_update_numa_beats_node(benchmark):
+    """The key Table I discrimination: numa >= node under update."""
+    def run_pair():
+        node = run_mesh_update(
+            MeshUpdateConfig(size="small", update=True, variant="node", **FAST)
+        )
+        numa = run_mesh_update(
+            MeshUpdateConfig(size="small", update=True, variant="numa", **FAST)
+        )
+        return node, numa
+
+    node, numa = run_once(benchmark, run_pair)
+    benchmark.extra_info["node_eff"] = round(node.efficiency, 3)
+    benchmark.extra_info["numa_eff"] = round(numa.efficiency, 3)
+    assert numa.efficiency > node.efficiency

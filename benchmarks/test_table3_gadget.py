@@ -1,0 +1,38 @@
+"""Table III bench: Gadget-2 memory per node, per MPI flavour.
+
+Paper at 256 cores: MPC HLS 703MB, MPC 938MB, Open MPI 1731MB.  The
+HLS saving is the Ewald table (7 x 33MB); the Open MPI blow-up comes
+from all-pairs eager connections.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.gadget import EWALD_TABLE_BYTES, GadgetConfig, run_gadget
+
+NODES = 6
+
+
+@pytest.mark.parametrize(
+    "label,runtime,hls",
+    [("mpc_hls", "mpc", True), ("mpc", "mpc", False),
+     ("openmpi", "openmpi", False)],
+)
+def test_table3_variant(benchmark, label, runtime, hls):
+    cfg = GadgetConfig(n_nodes=NODES, runtime=runtime, hls=hls)
+    result = run_once(benchmark, run_gadget, cfg)
+    benchmark.extra_info["avg_mb_per_node"] = round(result.mem.avg_mb)
+    assert result.mem.avg_bytes > 0
+
+
+def test_table3_openmpi_eager_blowup(benchmark):
+    """Open MPI's per-connection eager buffers dominate the gap."""
+    def run_pair():
+        omp = run_gadget(GadgetConfig(n_nodes=NODES, runtime="openmpi"))
+        mpc = run_gadget(GadgetConfig(n_nodes=NODES, runtime="mpc"))
+        return omp, mpc
+
+    omp, mpc = run_once(benchmark, run_pair)
+    gap = omp.mem.avg_bytes - mpc.mem.avg_bytes
+    benchmark.extra_info["gap_mb"] = round(gap / (1 << 20))
+    assert gap > 7 * EWALD_TABLE_BYTES   # bigger than the whole HLS saving

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The paper's future work: automatic detection of HLS-eligible variables.
+
+Runs an MPI program under the tracer, builds the happens-before
+relation of section III from the recorded events, classifies every
+global variable with the coherent-read conditions, and prints the
+pragmas the detector suggests.
+
+    $ python examples/auto_detect.py
+"""
+
+import numpy as np
+
+from repro.analysis import Tracer, detect
+from repro.runtime import Runtime
+
+
+def main() -> None:
+    n = 8
+    rt = Runtime(n_tasks=n)
+    tracer = Tracer(n)
+    rt.tracer = tracer
+
+    def program(ctx):
+        c = ctx.comm_world
+        # 'eos' -- every task loads the same physics table: shareable.
+        tracer.write(ctx.rank, "eos", ("table", "v1"))
+        # 'step_scale' -- every task recomputes the same value each
+        # round, unsynchronised: shareable only with singles.
+        # 'my_offset' -- rank-dependent: not shareable.
+        tracer.write(ctx.rank, "my_offset", ctx.rank * 100)
+        c.barrier()
+        for round_ in range(3):
+            tracer.write(ctx.rank, "step_scale", 1.0 / (round_ + 1))
+            tracer.read(ctx.rank, "step_scale", 1.0 / (round_ + 1))
+            tracer.read(ctx.rank, "eos", ("table", "v1"))
+            tracer.read(ctx.rank, "my_offset", ctx.rank * 100)
+        c.barrier()
+
+    rt.run(program)
+
+    reports = detect(tracer.trace)
+    for var, rep in sorted(reports.items()):
+        print(f"variable {var!r}: {rep.status.value}")
+        print(f"  reason: {rep.reason}")
+        for pragma in rep.suggested_pragmas:
+            print(f"  suggest: {pragma}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

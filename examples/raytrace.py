@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Tachyon-style ray tracing with an HLS-shared scene and image.
+
+Demonstrates the two Table IV effects:
+
+1. memory: scene + image stored once per node instead of once per task;
+2. time: rank 0 receives same-node image strips *in place* -- the copy
+   is elided because source and destination are the same HLS memory.
+
+    $ python examples/raytrace.py
+"""
+
+from repro.apps.tachyon import TachyonConfig, run_tachyon
+
+
+def main() -> None:
+    print(f"{'variant':<10} {'avg MB/node':>12} {'time (s)':>9} "
+          f"{'elided copies':>14}")
+    for label, runtime, hls in (
+        ("MPC HLS", "mpc", True),
+        ("MPC", "mpc", False),
+        ("Open MPI", "openmpi", False),
+    ):
+        r = run_tachyon(
+            TachyonConfig(n_nodes=4, runtime=runtime, hls=hls, frames=3)
+        )
+        print(f"{label:<10} {r.mem.avg_mb:>12.0f} {r.modeled_time_s:>9.1f} "
+              f"{r.elided_messages:>14d}")
+    print(
+        "\nWith HLS, the 7 other tasks on rank 0's node 'send' their "
+        "strips into\nthe very buffer rank 0 receives them in, so no "
+        "bytes move -- which is\nwhy the HLS variant is the fastest in "
+        "Table IV, not just the smallest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro -- reproduction of *Hierarchical Local Storage: Exploiting
+Flexible User-Data Sharing Between MPI Tasks* (IPDPS 2012).
+
+Public API in five layers:
+
+* :mod:`repro.machine` -- simulated cluster topologies and HLS scopes;
+* :mod:`repro.memsim` -- trace-driven cache hierarchy + timing model;
+* :mod:`repro.runtime` -- the thread-based MPI runtime (MPC analog) and
+  the process-based baseline (Open MPI analog);
+* :mod:`repro.hls` -- the paper's contribution: HLS variables, scopes,
+  single/barrier directives, pragma compiler, shared-segment backend;
+* :mod:`repro.analysis` -- the section III formal model and the
+  automatic eligibility detector (the paper's future work).
+
+Plus :mod:`repro.apps` (evaluation workloads), :mod:`repro.baselines`
+(SBLLmalloc page merging, MPI-3 shared windows), :mod:`repro.metrics`
+and :mod:`repro.experiments` (one harness per paper table/figure).
+
+Quickstart::
+
+    from repro.machine import core2_cluster
+    from repro.runtime import Runtime
+    from repro.hls import HLSProgram
+
+    rt = Runtime(core2_cluster(2), n_tasks=16)
+    prog = HLSProgram(rt)
+    prog.declare("table", shape=(1000,), scope="node")
+
+    def main(ctx):
+        h = prog.attach(ctx)
+        if h.single_enter("table"):
+            h["table"][:] = 1.0
+            h.single_done("table")
+        return h["table"].sum()
+
+    rt.run(main)
+"""
+
+from repro.machine import (
+    Machine,
+    ScopeKind,
+    ScopeSpec,
+    build_machine,
+    core2_cluster,
+    nehalem_ex_node,
+    small_test_machine,
+)
+from repro.runtime import Comm, ProcessRuntime, Runtime, TaskContext
+from repro.hls import HLSHandle, HLSProgram, hls_compile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "ScopeKind",
+    "ScopeSpec",
+    "build_machine",
+    "core2_cluster",
+    "nehalem_ex_node",
+    "small_test_machine",
+    "Runtime",
+    "ProcessRuntime",
+    "Comm",
+    "TaskContext",
+    "HLSProgram",
+    "HLSHandle",
+    "hls_compile",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Formal model of section III + the future-work auto-detector.
+
+* :mod:`~repro.analysis.events` -- traces of reads/writes/messages/
+  collectives;
+* :mod:`~repro.analysis.happens_before` -- the ≺ / ∥ relations via
+  vector clocks over the precedence DAG;
+* :mod:`~repro.analysis.coherence` -- the coherent-read conditions 1-3;
+* :mod:`~repro.analysis.detector` -- classifies variables as eligible /
+  eligible-with-singles / ineligible and proposes pragmas;
+* :mod:`~repro.analysis.tracing` -- records traces from live runs.
+"""
+
+from repro.analysis.events import Event, EventKind, Trace
+from repro.analysis.happens_before import HappensBefore, TraceError
+from repro.analysis.coherence import (
+    ReadCheck,
+    VariableCoherence,
+    check_read,
+    check_variable,
+)
+from repro.analysis.detector import (
+    Eligibility,
+    VariableReport,
+    detect,
+    detect_variable,
+)
+from repro.analysis.tracing import Tracer
+from repro.analysis.autopatch import PatchResult, auto_patch_source
+from repro.analysis.explorer import Violation, explore, random_linearization, replay
+
+__all__ = [
+    "PatchResult",
+    "auto_patch_source",
+    "Violation",
+    "explore",
+    "random_linearization",
+    "replay",
+    "Event",
+    "EventKind",
+    "Trace",
+    "HappensBefore",
+    "TraceError",
+    "ReadCheck",
+    "VariableCoherence",
+    "check_read",
+    "check_variable",
+    "Eligibility",
+    "VariableReport",
+    "detect",
+    "detect_variable",
+    "Tracer",
+]

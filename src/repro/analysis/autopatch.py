@@ -1,0 +1,129 @@
+"""Automatic HLS patching: from detection report to modified source.
+
+Closes the loop the paper's future work opens: given a module's source
+and the per-variable :class:`~repro.analysis.detector.VariableReport`
+of a traced run, rewrite the source with the pragmas the detector
+suggests --
+
+* an ``#pragma hls <scope>(var)`` line after the module-level
+  definition of every eligible variable;
+* for *eligible-with-singles* variables, an ``#pragma hls single(var)``
+  line before every function statement that stores into the variable
+  (the section III-C transformation).
+
+The patched source is valid input for
+:func:`repro.hls.compiler.compile_module_source`, so the full pipeline
+is: run traced -> detect -> patch -> recompile -> the program now
+shares memory.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.detector import Eligibility, VariableReport
+
+
+@dataclass
+class PatchResult:
+    """Outcome of :func:`auto_patch_source`."""
+
+    source: str
+    inserted: List[Tuple[int, str]] = field(default_factory=list)  # (orig line, pragma)
+    patched_variables: List[str] = field(default_factory=list)
+    skipped_variables: Dict[str, str] = field(default_factory=dict)  # var -> reason
+
+
+def _module_definition_line(tree: ast.Module, var: str) -> int:
+    """Line of the last module-level assignment defining ``var``."""
+    line = -1
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for t in targets:
+            if isinstance(t, ast.Name) and t.id == var:
+                line = max(line, node.end_lineno or node.lineno)
+    return line
+
+
+class _WriteFinder(ast.NodeVisitor):
+    """Statements inside functions that store into ``var[...]``."""
+
+    def __init__(self, var: str) -> None:
+        self.var = var
+        self.lines: Set[int] = set()
+        self._stmt_stack: List[ast.stmt] = []
+
+    def _writes_var(self, target: ast.expr) -> bool:
+        # var[...] = ... / var[...] += ...
+        node = target
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        return isinstance(node, ast.Name) and node.id == self.var
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for stmt in ast.walk(node):
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AugAssign):
+                targets = [stmt.target]
+            for t in targets:
+                if isinstance(t, ast.Subscript) and self._writes_var(t):
+                    self.lines.add(stmt.lineno)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+def auto_patch_source(
+    source: str,
+    reports: Dict[str, VariableReport],
+    *,
+    scope: str = "node",
+) -> PatchResult:
+    """Insert the detector's pragmas into ``source`` (see module doc)."""
+    tree = ast.parse(source)
+    lines = source.splitlines()
+    # insertions: line number AFTER which to insert -> list of pragma text
+    after: Dict[int, List[str]] = {}
+    before: Dict[int, List[str]] = {}
+    result = PatchResult(source=source)
+
+    for var, rep in sorted(reports.items()):
+        if rep.status is Eligibility.INELIGIBLE:
+            result.skipped_variables[var] = rep.reason
+            continue
+        def_line = _module_definition_line(tree, var)
+        if def_line < 0:
+            result.skipped_variables[var] = "no module-level definition found"
+            continue
+        scope_pragma = f"#pragma hls {scope}({var})"
+        after.setdefault(def_line, []).append(scope_pragma)
+        result.inserted.append((def_line, scope_pragma))
+        if rep.status is Eligibility.ELIGIBLE_WITH_SINGLES:
+            finder = _WriteFinder(var)
+            finder.visit(tree)
+            for ln in sorted(finder.lines):
+                indent = lines[ln - 1][: len(lines[ln - 1]) - len(lines[ln - 1].lstrip())]
+                single = f"{indent}#pragma hls single({var})"
+                before.setdefault(ln, []).append(single)
+                result.inserted.append((ln, single))
+        result.patched_variables.append(var)
+
+    out: List[str] = []
+    for i, text in enumerate(lines, start=1):
+        for pragma in before.get(i, []):
+            out.append(pragma)
+        out.append(text)
+        for pragma in after.get(i, []):
+            out.append(pragma)
+    result.source = "\n".join(out) + ("\n" if source.endswith("\n") else "")
+    return result
+
+
+__all__ = ["PatchResult", "auto_patch_source"]

@@ -1,0 +1,124 @@
+"""Coherent-read conditions of paper section III-B / III-C.
+
+A read ``r`` of a variable returning value ``v(r)`` is *coherent* iff
+
+1. every write ``w ∥ r`` to the variable has ``v(w) == v(r)``, and
+2. every write ``w ≺ r`` with no other write ``w'`` such that
+   ``w ≺ w' ≺ r`` has ``v(w) == v(r)``.
+
+A variable all of whose reads are coherent can be made HLS *without
+adding any synchronization*.  Otherwise, a necessary condition to
+salvage it with added synchronisations is
+
+3. at least one write among those considered in 1-2 has
+   ``v(w) == v(r)``.
+
+(A read with no candidate write at all reads the initial value; we
+treat the initial value as a virtual write preceding everything, so
+condition 2/3 then compare against it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+from repro.analysis.events import Event, EventKind, Trace
+from repro.analysis.happens_before import HappensBefore
+
+
+@dataclass(frozen=True)
+class ReadCheck:
+    """Coherence verdict for one read."""
+
+    read: Event
+    parallel_writes: tuple
+    last_writes: tuple          # writes preceding r with none in between
+    cond1: bool
+    cond2: bool
+    cond3: bool
+
+    @property
+    def coherent(self) -> bool:
+        """Eligible without additional synchronisation (cond 1 and 2)."""
+        return self.cond1 and self.cond2
+
+    @property
+    def salvageable(self) -> bool:
+        """Condition 3: could become coherent with added syncs."""
+        return self.cond3
+
+
+def check_read(
+    hb: HappensBefore,
+    read: Event,
+    writes: List[Event],
+    *,
+    initial_value: Optional[Hashable] = None,
+) -> ReadCheck:
+    """Evaluate conditions 1-3 for one read against a write set."""
+    if read.kind is not EventKind.READ:
+        raise ValueError(f"{read} is not a read")
+    par = tuple(w for w in writes if hb.parallel(w, read))
+    before = [w for w in writes if hb.precedes(w, read)]
+    last = tuple(
+        w for w in before
+        if not any(
+            w2 is not w and hb.precedes(w, w2) and hb.precedes(w2, read)
+            for w2 in before
+        )
+    )
+    cond1 = all(w.value == read.value for w in par)
+    if last:
+        cond2 = all(w.value == read.value for w in last)
+    else:
+        # No preceding write: the read observes the initial value.
+        cond2 = initial_value is None or read.value == initial_value
+    candidates = list(par) + list(last)
+    if candidates:
+        cond3 = any(w.value == read.value for w in candidates)
+    else:
+        cond3 = cond2
+    return ReadCheck(
+        read=read, parallel_writes=par, last_writes=last,
+        cond1=cond1, cond2=cond2, cond3=cond3,
+    )
+
+
+@dataclass(frozen=True)
+class VariableCoherence:
+    """Aggregate verdict for one variable."""
+
+    var: str
+    checks: tuple
+
+    @property
+    def eligible_without_sync(self) -> bool:
+        return all(c.coherent for c in self.checks)
+
+    @property
+    def salvageable(self) -> bool:
+        return all(c.salvageable for c in self.checks)
+
+    @property
+    def incoherent_reads(self) -> List[ReadCheck]:
+        return [c for c in self.checks if not c.coherent]
+
+
+def check_variable(
+    hb: HappensBefore,
+    trace: Trace,
+    var: str,
+    *,
+    initial_value: Optional[Hashable] = None,
+) -> VariableCoherence:
+    """Conditions 1-3 for every read of ``var`` in the trace."""
+    writes = trace.writes(var)
+    checks = tuple(
+        check_read(hb, r, writes, initial_value=initial_value)
+        for r in trace.reads(var)
+    )
+    return VariableCoherence(var=var, checks=checks)
+
+
+__all__ = ["ReadCheck", "VariableCoherence", "check_read", "check_variable"]

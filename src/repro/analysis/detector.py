@@ -1,0 +1,191 @@
+"""Automatic detection of HLS-eligible variables.
+
+The paper's future work (section VII): "One could retrieve during one
+execution of the code, all memory accesses to global variables
+augmented with the synchronizations induced by the MPI calls.
+Efficient algorithms based on the formal definition given in section
+III could then be used to detect variables that can use HLS without
+additional synchronizations and to detect where to add synchronizations
+for the others."
+
+:func:`detect` classifies every global variable of a trace as
+
+* ``ELIGIBLE`` -- all reads coherent (III-B): mark HLS, done;
+* ``ELIGIBLE_WITH_SINGLES`` -- reads salvageable (condition 3) *and*
+  every task performs the same write sequence (same count, same values,
+  same order), so each write can be wrapped in a ``single`` (III-C),
+  *and* the implied barriers do not conflict with existing
+  synchronisation (no cycle in the extended precedence graph);
+* ``INELIGIBLE`` -- otherwise.
+
+For eligible-with-singles variables the report carries concrete pragma
+suggestions (one ``single`` per write position).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.analysis.coherence import VariableCoherence, check_variable
+from repro.analysis.events import Event, EventKind, Trace
+from repro.analysis.happens_before import HappensBefore
+
+
+class Eligibility(enum.Enum):
+    ELIGIBLE = "eligible"
+    ELIGIBLE_WITH_SINGLES = "eligible_with_singles"
+    INELIGIBLE = "ineligible"
+
+
+@dataclass(frozen=True)
+class VariableReport:
+    """Detection result for one variable."""
+
+    var: str
+    status: Eligibility
+    coherence: VariableCoherence
+    reason: str
+    suggested_pragmas: Tuple[str, ...] = ()
+
+
+def _same_write_sequences(trace: Trace, var: str) -> Tuple[bool, str]:
+    """Does every task that writes ``var`` write the same value sequence?
+
+    Per section III-C this is the SPMD pattern that makes the
+    single-wrapping transformation applicable.  Tasks that never touch
+    the variable don't disqualify it (they simply take part in the
+    single's barrier)."""
+    sequences: Dict[int, List[Hashable]] = {}
+    for ev in trace.all_events():
+        if ev.kind is EventKind.WRITE and ev.var == var:
+            sequences.setdefault(ev.task, []).append(ev.value)
+    if not sequences:
+        return True, "no writes"
+    seqs = list(sequences.values())
+    first = seqs[0]
+    for s in seqs[1:]:
+        if s != first:
+            return False, (
+                f"write sequences differ across tasks "
+                f"({len(first)} vs {len(s)} writes or different values)"
+            )
+    writers = set(sequences)
+    if writers != set(range(trace.n_tasks)):
+        return False, (
+            f"only tasks {sorted(writers)} write; the single transformation "
+            f"needs every task to execute the same write statements"
+        )
+    return True, "identical write sequences on all tasks"
+
+
+def _single_insertion_conflicts(
+    hb: HappensBefore, trace: Trace, var: str
+) -> Optional[str]:
+    """Would wrapping each k-th write in a single/barrier conflict with
+    existing synchronisation?
+
+    Wrapping the k-th writes of all tasks in one ``single`` orders
+    "everything up to and including write k" before "everything after
+    write k" across tasks.  That is impossible -- a cycle in the
+    precedence graph -- iff some task's k-th write already *succeeds*
+    another task's j-th write with j > k (the existing order crosses
+    the proposed barrier in the wrong direction)."""
+    per_task: Dict[int, List[Event]] = {}
+    for ev in trace.all_events():
+        if ev.kind is EventKind.WRITE and ev.var == var:
+            per_task.setdefault(ev.task, []).append(ev)
+    tasks = sorted(per_task)
+    for p in tasks:
+        for q in tasks:
+            if p == q:
+                continue
+            for k, wp in enumerate(per_task[p]):
+                for j, wq in enumerate(per_task[q]):
+                    if j > k and hb.precedes(wq, wp):
+                        return (
+                            f"write #{j} of task {q} already precedes write "
+                            f"#{k} of task {p}; inserting singles would "
+                            f"create a cycle"
+                        )
+    return None
+
+
+def detect_variable(
+    hb: HappensBefore,
+    trace: Trace,
+    var: str,
+    *,
+    initial_value: Optional[Hashable] = None,
+    scope: str = "node",
+) -> VariableReport:
+    """Classify one variable (see module docstring)."""
+    coh = check_variable(hb, trace, var, initial_value=initial_value)
+    if coh.eligible_without_sync:
+        return VariableReport(
+            var=var,
+            status=Eligibility.ELIGIBLE,
+            coherence=coh,
+            reason="all reads coherent (conditions 1 and 2)",
+            suggested_pragmas=(f"#pragma hls {scope}({var})",),
+        )
+    if not coh.salvageable:
+        bad = coh.incoherent_reads[0]
+        return VariableReport(
+            var=var,
+            status=Eligibility.INELIGIBLE,
+            coherence=coh,
+            reason=(
+                f"read {bad.read} violates condition 3: no candidate write "
+                f"holds its value"
+            ),
+        )
+    same, why = _same_write_sequences(trace, var)
+    if not same:
+        return VariableReport(
+            var=var,
+            status=Eligibility.INELIGIBLE,
+            coherence=coh,
+            reason=f"condition 3 holds but {why}",
+        )
+    conflict = _single_insertion_conflicts(hb, trace, var)
+    if conflict is not None:
+        return VariableReport(
+            var=var,
+            status=Eligibility.INELIGIBLE,
+            coherence=coh,
+            reason=conflict,
+        )
+    n_writes = len(trace.writes(var)) // max(1, trace.n_tasks)
+    pragmas = [f"#pragma hls {scope}({var})"]
+    pragmas += [
+        f"#pragma hls single({var})  # around write #{k}" for k in range(n_writes)
+    ]
+    return VariableReport(
+        var=var,
+        status=Eligibility.ELIGIBLE_WITH_SINGLES,
+        coherence=coh,
+        reason=why,
+        suggested_pragmas=tuple(pragmas),
+    )
+
+
+def detect(
+    trace: Trace,
+    *,
+    initial_values: Optional[Dict[str, Hashable]] = None,
+    scope: str = "node",
+) -> Dict[str, VariableReport]:
+    """Classify every global variable accessed in the trace."""
+    hb = HappensBefore(trace)
+    init = initial_values or {}
+    return {
+        var: detect_variable(
+            hb, trace, var, initial_value=init.get(var), scope=scope
+        )
+        for var in trace.variables()
+    }
+
+
+__all__ = ["Eligibility", "VariableReport", "detect", "detect_variable"]

@@ -1,0 +1,105 @@
+"""Schedule exploration: brute-force validation of the §III conditions.
+
+The coherent-read conditions are justified in the paper by a schedule
+argument: "if one of these two conditions is not satisfied, there
+exists a schedule compatible with the partial order defined by the
+synchronizations of the MPI program in which the delinquent write
+happens just before the read operation that will thus return a wrong
+value."
+
+:func:`explore` makes that argument executable: it samples random
+linearizations of a trace compatible with the happens-before partial
+order, replays the accesses of one variable against a single shared
+cell (what HLS storage would be), and reports every read that observed
+a value different from the one the original (private-copies) execution
+recorded.  A variable the checker deems *eligible without
+synchronization* must show no violation under any schedule; the
+property tests drive both directions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.analysis.events import Event, EventKind, Trace
+from repro.analysis.happens_before import HappensBefore
+
+
+@dataclass
+class Violation:
+    """One read that observed a wrong value under some schedule."""
+
+    read: Event
+    observed: Hashable
+    schedule_index: int
+
+
+def random_linearization(
+    hb: HappensBefore, rng: random.Random
+) -> List[Event]:
+    """One random topological order of the trace's events."""
+    graph = hb.graph
+    indeg: Dict = {n: 0 for n in graph.nodes}
+    for _u, v in graph.edges:
+        indeg[v] += 1
+    ready = [n for n, d in indeg.items() if d == 0]
+    order: List[Event] = []
+    while ready:
+        i = rng.randrange(len(ready))
+        node = ready.pop(i)
+        if not (isinstance(node, tuple) and node and node[0] == "episode"):
+            task, index = node
+            order.append(hb.trace.events[task][index])
+        for succ in graph.successors(node):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+    return order
+
+
+def replay(
+    order: List[Event],
+    var: str,
+    *,
+    initial_value: Optional[Hashable] = None,
+) -> List[Tuple[Event, Hashable]]:
+    """Replay one schedule on a single shared copy of ``var``;
+    returns the (read, observed value) pairs."""
+    shared: Hashable = initial_value
+    seen: List[Tuple[Event, Hashable]] = []
+    for ev in order:
+        if ev.var != var:
+            continue
+        if ev.kind is EventKind.WRITE:
+            shared = ev.value
+        elif ev.kind is EventKind.READ:
+            seen.append((ev, shared))
+    return seen
+
+
+def explore(
+    trace: Trace,
+    var: str,
+    *,
+    initial_value: Optional[Hashable] = None,
+    samples: int = 50,
+    seed: int = 0,
+) -> List[Violation]:
+    """Sample ``samples`` random legal schedules; return all observed
+    read violations (reads seeing a value other than recorded)."""
+    hb = HappensBefore(trace)
+    rng = random.Random(seed)
+    violations: List[Violation] = []
+    for s in range(samples):
+        order = random_linearization(hb, rng)
+        for read, observed in replay(order, var, initial_value=initial_value):
+            if observed != read.value:
+                violations.append(
+                    Violation(read=read, observed=observed, schedule_index=s)
+                )
+    return violations
+
+
+__all__ = ["Violation", "random_linearization", "replay", "explore"]

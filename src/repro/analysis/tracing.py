@@ -1,0 +1,79 @@
+"""Live trace recording from a running MPI job.
+
+Install a :class:`Tracer` on a runtime (``runtime.tracer = tracer``)
+before ``run()`` and it collects the synchronisation events (sends,
+receives, collectives) automatically through the runtime's hooks.
+Variable accesses are recorded by the application through
+:meth:`Tracer.read` / :meth:`Tracer.write` -- the stand-in for the
+binary instrumentation the paper's future work assumes.
+
+The recorded :class:`~repro.analysis.events.Trace` feeds
+:func:`~repro.analysis.detector.detect` to propose HLS pragmas.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.events import Trace
+
+
+def _summarise(value: Any) -> Hashable:
+    """Reduce a value to a hashable summary for coherence comparison."""
+    if isinstance(value, np.ndarray):
+        return (value.shape, value.dtype.str, value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_summarise(v) for v in value)
+    return value
+
+
+class Tracer:
+    """Runtime tracer implementing the hooks of
+    :class:`~repro.runtime.runtime.Runtime` (``record_send``,
+    ``record_recv``, ``record_collective``, ``register_task``)."""
+
+    def __init__(self, n_tasks: int) -> None:
+        self.trace = Trace(n_tasks)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------- runtime hooks
+    def register_task(self, rank: int) -> None:
+        # Nothing to set up; kept for hook completeness.
+        del rank
+
+    def record_send(
+        self, src: int, dst: int, tag: int, context: int, seq: int
+    ) -> None:
+        with self._lock:
+            self.trace.send(src, dst, tag=tag, seq=seq)
+
+    def record_recv(
+        self, dst: int, src: int, tag: int, context: int, seq: int
+    ) -> None:
+        with self._lock:
+            self.trace.recv(dst, src, tag=tag, seq=seq)
+
+    def record_collective(
+        self, rank: int, context: int, kind: str, group: Tuple[int, ...], epoch: int
+    ) -> None:
+        with self._lock:
+            self.trace.collective(
+                rank, context=context, epoch=epoch, op=kind, group=group
+            )
+
+    # ---------------------------------------------------- access recording
+    def read(self, rank: int, var: str, value: Any) -> None:
+        """Record that ``rank`` read ``value`` from global ``var``."""
+        with self._lock:
+            self.trace.read(rank, var, _summarise(value))
+
+    def write(self, rank: int, var: str, value: Any) -> None:
+        """Record that ``rank`` wrote ``value`` to global ``var``."""
+        with self._lock:
+            self.trace.write(rank, var, _summarise(value))
+
+
+__all__ = ["Tracer"]

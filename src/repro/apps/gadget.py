@@ -1,0 +1,159 @@
+"""Gadget-2-like N-body SPH step -- the Table III application.
+
+Section V-B2: cosmological N-body/SPH with periodic boundary
+conditions; force and potential corrections are trilinearly
+interpolated from a precomputed Ewald-summation table (~33MB), constant
+across tasks -- one ``hls node`` pragma plus one ``single`` saves about
+7 x 33MB = 230MB per node.
+
+The reproduction runs a scaled direct-summation gravity step with a
+real trilinear Ewald lookup.  Two Gadget-specific memory behaviours are
+modelled faithfully:
+
+* the Ewald table (33MB accounting, ~256KB live, HLS-shareable);
+* Gadget's communication pattern talks to *every* peer (domain and
+  tree-walk exchanges), so on a process-based MPI every rank pair ends
+  up with eager connection buffers -- the reason Table III's Open MPI
+  column is so much larger than Table II's at the same core count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.eulermhd import AppRunResult, make_runtime
+from repro.hls import HLSProgram
+from repro.metrics import MemorySampler
+
+RUNTIMES = ("mpc", "openmpi")
+
+EWALD_TABLE_BYTES = 33 << 20         # paper: ~33MB Ewald correction table
+PARTICLE_BASE = 16 << 20             # per-task particle + tree storage
+PARTICLE_GLOBAL = 16 << 30           # global particle data, divided by tasks
+TIME_K = 394_000.0                   # core-seconds (1540s at 256 cores)
+TIME_FACTOR = {"mpc": 1.0, "openmpi": 0.933}
+
+
+@dataclass(frozen=True)
+class GadgetConfig:
+    """One Table III cell."""
+
+    n_nodes: int = 4
+    runtime: str = "mpc"
+    hls: bool = False
+    steps: int = 3
+    particles_per_task: int = 64     # live (scaled) particle count
+    ewald_n: int = 32                # live Ewald table resolution (n^3)
+    connect_all_peers: bool = True   # Gadget's all-pairs exchange pattern
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.runtime not in RUNTIMES:
+            raise ValueError(f"runtime must be one of {RUNTIMES}")
+        if self.hls and self.runtime == "openmpi":
+            raise ValueError("Table III evaluates HLS on MPC only")
+
+    @property
+    def n_tasks(self) -> int:
+        return self.n_nodes * 8
+
+
+def _trilinear(table: np.ndarray, pos: np.ndarray) -> np.ndarray:
+    """Trilinear interpolation of table (n,n,n) at positions in [0,1)^3."""
+    n = table.shape[0]
+    x = pos * (n - 1)
+    i = np.clip(x.astype(int), 0, n - 2)
+    f = x - i
+    out = np.zeros(len(pos))
+    for dx in (0, 1):
+        for dy in (0, 1):
+            for dz in (0, 1):
+                w = (
+                    (f[:, 0] if dx else 1 - f[:, 0])
+                    * (f[:, 1] if dy else 1 - f[:, 1])
+                    * (f[:, 2] if dz else 1 - f[:, 2])
+                )
+                out += w * table[i[:, 0] + dx, i[:, 1] + dy, i[:, 2] + dz]
+    return out
+
+
+def run_gadget(cfg: GadgetConfig) -> AppRunResult:
+    """Run one configuration; returns time + memory in Table III form."""
+    rt = make_runtime(cfg)
+    prog = HLSProgram(rt, enabled=cfg.hls)
+    prog.declare(
+        "ewald_table",
+        shape=(cfg.ewald_n, cfg.ewald_n, cfg.ewald_n),
+        dtype=np.float64,
+        scope="node",
+        virtual_bytes=EWALD_TABLE_BYTES,
+    )
+    sampler = MemorySampler(rt)
+    sampler.sample()
+    particle_bytes = PARTICLE_BASE + PARTICLE_GLOBAL // cfg.n_tasks
+
+    def main(ctx):
+        h = prog.attach(ctx)
+        c = ctx.comm_world
+        rng = np.random.default_rng(cfg.seed + ctx.rank)
+        ctx.alloc(particle_bytes, label="particles+tree")
+        if h.single_enter("ewald_table"):
+            try:
+                tbl = h["ewald_table"]
+                g = np.linspace(0, 1, cfg.ewald_n)
+                tbl[...] = np.exp(
+                    -(g[:, None, None] ** 2 + g[None, :, None] ** 2
+                      + g[None, None, :] ** 2)
+                )
+            finally:
+                h.single_done("ewald_table")
+        ewald = h["ewald_table"]
+
+        pos = rng.random((cfg.particles_per_task, 3))
+        vel = np.zeros_like(pos)
+        if cfg.connect_all_peers and ctx.size > 1:
+            # domain/tree-walk exchange touches every peer once --
+            # establishing the all-pairs connections Gadget is known for
+            for d in range(1, ctx.size):
+                dest = (ctx.rank + d) % ctx.size
+                src = (ctx.rank - d) % ctx.size
+                c.sendrecv(np.array([float(ctx.rank)]), dest=dest,
+                           source=src, sendtag=d)
+        for step in range(cfg.steps):
+            # local direct-summation gravity on own particles
+            diff = pos[:, None, :] - pos[None, :, :]
+            dist2 = (diff ** 2).sum(-1) + 1e-3
+            force = (diff / dist2[..., None] ** 1.5).sum(1)
+            # periodic correction via the shared Ewald table
+            corr = _trilinear(ewald, pos)
+            vel += 0.001 * (force + corr[:, None])
+            pos = (pos + 0.001 * vel) % 1.0
+            # exchange centre-of-mass summaries with all tasks
+            c.allgather(pos.mean(0))
+            if ctx.rank == 0:
+                sampler.sample()
+            c.barrier()
+        return float(np.abs(vel).sum())
+
+    t0 = time.monotonic()
+    sums = rt.run(main)
+    wall = time.monotonic() - t0
+
+    modeled = TIME_K * TIME_FACTOR[cfg.runtime] / cfg.n_tasks
+    return AppRunResult(
+        app="gadget",
+        runtime=cfg.runtime,
+        hls=cfg.hls,
+        n_cores=cfg.n_tasks,
+        modeled_time_s=modeled,
+        wall_s=wall,
+        mem=sampler.report(),
+        comm=rt.stats,
+        checksum=float(np.sum(sums)),
+    )
+
+
+__all__ = ["EWALD_TABLE_BYTES", "GadgetConfig", "run_gadget"]

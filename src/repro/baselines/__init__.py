@@ -1,0 +1,12 @@
+"""Comparators from the related-work section (VI).
+
+* :mod:`~repro.baselines.sbllmalloc` -- automatic page-granularity
+  merging of identical pages across tasks (SBLLmalloc [23]);
+* :mod:`~repro.baselines.shared_windows` -- the MPI-3 shared-memory
+  window proposal [14], the manual alternative to HLS.
+"""
+
+from repro.baselines.sbllmalloc import PageMerger, MergeStats
+from repro.baselines.shared_windows import SharedWindow
+
+__all__ = ["PageMerger", "MergeStats", "SharedWindow"]

@@ -1,0 +1,115 @@
+"""MPI-3 shared-memory windows (related work [14]).
+
+"A recent proposal in the MPI Forum [...] extends the one-sided
+communications with shared memory windows that can be accessed with
+regular load and store operations [...] for MPI tasks on the same
+node."  This is the manual alternative HLS automates: the user must
+split a node communicator, allocate the window collectively, compute
+the offsets of peers' portions, and synchronise explicitly.
+
+:class:`SharedWindow` reproduces the ``MPI_Win_allocate_shared`` /
+``MPI_Win_shared_query`` / ``MPI_Win_fence`` surface on the thread
+runtime.  The ablation bench contrasts the number of code-level steps
+against the two pragmas HLS needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.runtime.communicator import Comm
+from repro.runtime.errors import MPIError
+
+
+@dataclass
+class _WindowState:
+    """Node-shared backing state of a window (one per allocation)."""
+
+    buffer: np.ndarray
+    offsets: Dict[int, int]
+    sizes: Dict[int, int]
+    alloc: Optional[object] = None
+
+
+class SharedWindow:
+    """One rank's handle on a shared window."""
+
+    def __init__(self, state: _WindowState, comm: Comm) -> None:
+        self._state = state
+        self.comm = comm
+
+    # ------------------------------------------------------------ allocation
+    @classmethod
+    def allocate_shared(
+        cls, comm: Comm, local_count: int, dtype=np.float64
+    ) -> "SharedWindow":
+        """Collective allocation (MPI_Win_allocate_shared analog).
+
+        Every rank of ``comm`` contributes ``local_count`` elements;
+        tasks must share a node (use ``comm.split_by_node()`` first)."""
+        rt = comm.runtime
+        world = [comm.to_world(r) for r in range(comm.size)]
+        node0 = rt.node_of(world[0])
+        if any(rt.node_of(w) != node0 for w in world):
+            raise MPIError(
+                "shared windows require all ranks of the communicator to "
+                "share a node (use comm.split_by_node() first)"
+            )
+        sizes = comm.allgather(int(local_count))
+        size_map = {r: int(s) for r, s in enumerate(sizes)}
+        if comm.rank == 0:
+            dt = np.dtype(dtype)
+            total = sum(size_map.values())
+            offsets: Dict[int, int] = {}
+            off = 0
+            for rank in sorted(size_map):
+                offsets[rank] = off
+                off += size_map[rank]
+            state = _WindowState(
+                buffer=np.zeros(total, dtype=dt),
+                offsets=offsets,
+                sizes=size_map,
+            )
+            state.alloc = rt.node_space(node0).alloc(
+                max(state.buffer.nbytes, 1), label="mpi3-shared-window", kind="app"
+            )
+        else:
+            state = None
+        # Publish the shared state by reference (exchange does not
+        # clone): every rank maps the *same* buffer, which is the whole
+        # point of a shared window.
+        published = comm._coll.exchange(comm.rank, state)
+        return cls(published[0], comm)
+
+    # ---------------------------------------------------------------- access
+    def local(self) -> np.ndarray:
+        """This rank's portion (regular loads/stores)."""
+        return self.shared_query(self.comm.rank)
+
+    def shared_query(self, rank: int) -> np.ndarray:
+        """Any rank's portion (MPI_Win_shared_query analog)."""
+        st = self._state
+        if rank not in st.offsets:
+            raise MPIError(f"rank {rank} not in window")
+        off = st.offsets[rank]
+        return st.buffer[off:off + st.sizes[rank]]
+
+    def fence(self) -> None:
+        """Window synchronisation (MPI_Win_fence analog)."""
+        self.comm.barrier()
+
+    def free(self) -> None:
+        """Collective: release the simulated allocation."""
+        self.comm.barrier()
+        st = self._state
+        if self.comm.rank == 0 and st.alloc is not None:
+            rt = self.comm.runtime
+            rt.node_space(rt.node_of(self.comm.world_rank)).free(st.alloc)
+            st.alloc = None
+        self.comm.barrier()
+
+
+__all__ = ["SharedWindow"]

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each ``run_*`` function regenerates the corresponding result and
+returns structured data plus a paper-style rendered table; the module
+is also runnable::
+
+    python -m repro.experiments.table1
+    python -m repro.experiments --all      # everything (slow)
+"""
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.intro_hybrid import run_intro_hybrid
+
+__all__ = [
+    "run_intro_hybrid",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+]

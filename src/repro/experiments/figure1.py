@@ -1,0 +1,54 @@
+"""Figure 1: the two scopes for HLS variables.
+
+The paper's figure is a diagram: with the ``node`` scope one copy of
+the variable serves the whole node (suppressing all duplication, at the
+price of cross-socket invalidations when written); with the ``cache
+L3`` scope one copy lives per shared cache (less saving, original cache
+behaviour).  This module regenerates the figure as an annotated scope
+partition of the simulated Nehalem-EX node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.machine import ScopeSpec, nehalem_ex_node
+from repro.machine.topology import Machine
+
+
+@dataclass
+class Figure1Result:
+    machine: Machine
+    partitions: Dict[str, List[List[int]]]   # scope -> list of PU groups
+
+    def render(self) -> str:
+        lines = [
+            "Figure 1 -- scope instances on the 4-socket Nehalem-EX node",
+            self.machine.ascii_diagram(max_nodes=1),
+            "",
+        ]
+        for scope, groups in self.partitions.items():
+            n = len(groups)
+            lines.append(
+                f"scope {scope!r}: {n} instance(s) -> "
+                f"{'no duplication on the node' if n == 1 else f'{n} copies'}"
+            )
+            for i, g in enumerate(groups):
+                lines.append(f"  {scope}#{i}: cores {g[0]}..{g[-1]}")
+        return "\n".join(lines)
+
+
+def run_figure1(machine: Machine = None) -> Figure1Result:
+    m = machine if machine is not None else nehalem_ex_node()
+    partitions: Dict[str, List[List[int]]] = {}
+    for scope in ("node", "numa", "cache", "core"):
+        spec = ScopeSpec.parse(scope)
+        partitions[scope] = [
+            sorted(m.scope_members(inst)) for inst in m.scope_instances(spec)
+        ]
+    return Figure1Result(machine=m, partitions=partitions)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_figure1().render())

@@ -1,0 +1,59 @@
+"""Figure 2: memory layout of HLS structures.
+
+The paper's figure shows each MPI task holding an array of scope
+pointers; tasks on the same node share the ``node``-scope module array,
+tasks on different NUMA nodes hold distinct ``numa``-scope structures.
+This module materialises exactly that situation on a live runtime and
+dumps the resulting storage map -- same module, one image per scope
+instance, shared addresses within an instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.hls import HLSProgram
+from repro.machine import small_test_machine
+from repro.runtime import Runtime
+
+
+@dataclass
+class Figure2Result:
+    layout: str
+    addresses: Dict[str, List[int]]    # var -> per-rank addresses
+
+    def render(self) -> str:
+        lines = ["Figure 2 -- live HLS memory layout", self.layout, ""]
+        for var, addrs in self.addresses.items():
+            shared = len(set(addrs))
+            lines.append(
+                f"variable {var!r}: per-rank addresses "
+                f"{[hex(a) for a in addrs]} ({shared} distinct image(s))"
+            )
+        return "\n".join(lines)
+
+
+def run_figure2() -> Figure2Result:
+    machine = small_test_machine()    # 2 sockets x 2 cores, one node
+    rt = Runtime(machine, timeout=10.0)
+    prog = HLSProgram(rt)
+    prog.declare("node_var", shape=(8,), scope="node")
+    prog.declare("numa_var", shape=(8,), scope="numa")
+
+    def main(ctx):
+        h = prog.attach(ctx)
+        return (h.addr("node_var"), h.addr("numa_var"))
+
+    addrs = rt.run(main)
+    return Figure2Result(
+        layout=prog.storage.layout_report(),
+        addresses={
+            "node_var": [a for a, _ in addrs],
+            "numa_var": [b for _, b in addrs],
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_figure2().render())

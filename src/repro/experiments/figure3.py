@@ -1,0 +1,99 @@
+"""Figure 3: matmul performance vs matrix size, with and without update.
+
+Paper shape (4x Nehalem-EX, weak scaling, MKL dgemm): the sequential
+program is fastest; all variants coincide for small matrices (all fit
+in cache); the regular MPI program falls off the shared cache first;
+the HLS variants fall off later (B is not duplicated); the gap is
+maximal around the regular program's cache exit and narrows -- but does
+not vanish -- for larger sizes.  In the update version the numa scope
+beats the node scope for sizes where B stays cache-resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.matmul import MatmulConfig, run_matmul
+from repro.metrics import Table
+
+DEFAULT_SIZES = (16, 24, 32, 40, 48, 64, 96)
+SERIES = ("seq", "none", "node", "numa")
+SERIES_LABEL = {
+    "seq": "sequential",
+    "none": "without HLS",
+    "node": "HLS node",
+    "numa": "HLS numa",
+}
+
+
+@dataclass
+class Figure3Result:
+    sizes: Tuple[int, ...]
+    # (update, variant) -> perf per size (flops/cycle/task)
+    series: Dict[Tuple[bool, str], List[float]]
+
+    def render(self, *, chart: bool = True) -> str:
+        from repro.metrics import line_chart
+
+        out = []
+        for update in (False, True):
+            present = {
+                SERIES_LABEL[v]: self.series[(update, v)]
+                for v in SERIES
+                if (update, v) in self.series
+            }
+            if not present:
+                continue
+            title = (
+                "Figure 3 -- matmul perf (flops/cycle/task), "
+                + ("update version" if update else "no-update version")
+            )
+            t = Table(["variant"] + [f"N={n}" for n in self.sizes], title=title)
+            for label, perfs in present.items():
+                t.add_row(label, *[f"{p:.2f}" for p in perfs])
+            out.append(t.render())
+            if chart and len(self.sizes) >= 2:
+                out.append(
+                    line_chart(
+                        list(self.sizes), present,
+                        title=title + " (chart)",
+                        y_label="flops/cycle/task",
+                    )
+                )
+        return "\n\n".join(out)
+
+    def crossover(self, update: bool, variant: str, *, frac: float = 0.85) -> int:
+        """First size where ``variant`` drops below ``frac`` of the
+        sequential performance -- the cache-exit point."""
+        seq = self.series[(update, "seq")]
+        var = self.series[(update, variant)]
+        for n, s, v in zip(self.sizes, seq, var):
+            if v < frac * s:
+                return n
+        return -1
+
+
+def run_figure3(
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    updates: Sequence[bool] = (False, True),
+    variants: Sequence[str] = SERIES,
+    **config_overrides,
+) -> Figure3Result:
+    """Regenerate Figure 3 (restrict ``sizes`` for quick runs)."""
+    series: Dict[Tuple[bool, str], List[float]] = {}
+    for update in updates:
+        for variant in variants:
+            perfs = []
+            for n in sizes:
+                cfg = MatmulConfig(
+                    n=n, update=update, variant=variant, **config_overrides
+                )
+                perfs.append(run_matmul(cfg).perf)
+            series[(update, variant)] = perfs
+    return Figure3Result(sizes=tuple(sizes), series=series)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_figure3().render())

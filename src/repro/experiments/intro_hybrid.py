@@ -1,0 +1,72 @@
+"""The introduction's motivating comparison (not a numbered table).
+
+"One solution [...] is to add a thread-based programming model like
+OpenMP inside the application [...] But going to hybrid may be a
+tedious task [...] the Amdahl effect may be large if one wants to
+dramatically reduce the memory footprint."
+
+Renders the tasks x threads trade-off of an 8-core node for a code with
+one large shareable table under master-only communication, plus the
+pure-MPI + HLS row that achieves both optima at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.hls import HLSProgram
+from repro.machine import core2_cluster
+from repro.metrics import Table
+from repro.omp import HybridLayout, hybrid_layouts, master_only_time
+from repro.runtime import Runtime
+
+TABLE_BYTES = 128 << 20
+COMPUTE = 10.0
+COMM = 1.0
+
+
+@dataclass
+class IntroHybridResult:
+    rows: List[Tuple[str, int, float]]        # (label, mem MB, step time)
+
+    def render(self) -> str:
+        t = Table(
+            ["decomposition", "table MB/node", "step time"],
+            title="Intro -- hybrid decompositions vs pure MPI + HLS "
+                  "(8-core node, master-only comm)",
+        )
+        for label, mem, time_ in self.rows:
+            t.add_row(label, mem, f"{time_:.1f}")
+        return t.render()
+
+    def hls_row(self) -> Tuple[str, int, float]:
+        return next(r for r in self.rows if "HLS" in r[0])
+
+
+def run_intro_hybrid(*, cores_per_node: int = 8) -> IntroHybridResult:
+    rows: List[Tuple[str, int, float]] = []
+    for layout in hybrid_layouts(cores_per_node):
+        rows.append((
+            f"{layout.tasks_per_node} tasks x {layout.threads_per_task} threads",
+            layout.memory_per_node(TABLE_BYTES) >> 20,
+            master_only_time(layout, compute_per_core=COMPUTE,
+                             comm_per_task_stream=COMM),
+        ))
+    # measured HLS row
+    rt = Runtime(core2_cluster(1), n_tasks=cores_per_node, timeout=10.0)
+    prog = HLSProgram(rt)
+    prog.declare("table", shape=(8,), scope="node", virtual_bytes=TABLE_BYTES)
+    rt.run(lambda ctx: prog.attach(ctx)["table"].sum())
+    pure = HybridLayout(cores_per_node, 1)
+    rows.append((
+        f"{cores_per_node} tasks x 1 + HLS",
+        prog.storage.hls_images_bytes() >> 20,
+        master_only_time(pure, compute_per_core=COMPUTE,
+                         comm_per_task_stream=COMM),
+    ))
+    return IntroHybridResult(rows=rows)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_intro_hybrid().render())

@@ -1,0 +1,82 @@
+"""Table I: parallel efficiency of the mesh-update benchmark.
+
+Paper reference values (4x Nehalem-EX, weak scaling):
+
+    |             |  without update   |    with update    |
+    | mesh size   | small  med  large | small  med  large |
+    | without HLS |  37%   39%   40%  |  30%   37%   40%  |
+    | HLS node    |  94%   93%   99%  |  65%   87%   95%  |
+    | HLS numa    |  94%   93%   99%  |  88%   92%   97%  |
+
+Expected shape from this reproduction: without-HLS far below both HLS
+variants; numa >= node with the gap concentrated in the small/update
+cell; node-scope efficiency under update growing with mesh size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.mesh_update import MeshUpdateConfig, run_mesh_update
+from repro.metrics import Table
+
+PAPER = {
+    # (variant, update, size) -> paper efficiency (%)
+    ("none", False, "small"): 37, ("none", False, "medium"): 39, ("none", False, "large"): 40,
+    ("node", False, "small"): 94, ("node", False, "medium"): 93, ("node", False, "large"): 99,
+    ("numa", False, "small"): 94, ("numa", False, "medium"): 93, ("numa", False, "large"): 99,
+    ("none", True, "small"): 30, ("none", True, "medium"): 37, ("none", True, "large"): 40,
+    ("node", True, "small"): 65, ("node", True, "medium"): 87, ("node", True, "large"): 95,
+    ("numa", True, "small"): 88, ("numa", True, "medium"): 92, ("numa", True, "large"): 97,
+}
+
+ROW_LABEL = {"none": "without HLS", "node": "HLS node", "numa": "HLS numa"}
+
+
+@dataclass
+class Table1Result:
+    """Measured efficiencies keyed like :data:`PAPER`."""
+
+    measured: Dict[Tuple[str, bool, str], float]
+
+    def render(self) -> str:
+        t = Table(
+            ["variant", "upd", "size", "efficiency", "paper"],
+            title="Table I -- mesh update parallel efficiency "
+                  "(simulated 4x Nehalem-EX)",
+        )
+        for (variant, update, size), eff in sorted(
+            self.measured.items(), key=lambda kv: (kv[0][1], kv[0][2], kv[0][0])
+        ):
+            t.add_row(
+                ROW_LABEL[variant],
+                "yes" if update else "no",
+                size,
+                f"{eff:6.1%}",
+                f"{PAPER[(variant, update, size)]}%",
+            )
+        return t.render()
+
+
+def run_table1(
+    *,
+    sizes: Sequence[str] = ("small", "medium", "large"),
+    updates: Sequence[bool] = (False, True),
+    variants: Sequence[str] = ("none", "node", "numa"),
+    **config_overrides,
+) -> Table1Result:
+    """Regenerate Table I (restrict ``sizes`` etc. for quick runs)."""
+    measured: Dict[Tuple[str, bool, str], float] = {}
+    for update in updates:
+        for size in sizes:
+            for variant in variants:
+                cfg = MeshUpdateConfig(
+                    size=size, update=update, variant=variant, **config_overrides
+                )
+                measured[(variant, update, size)] = run_mesh_update(cfg).efficiency
+    return Table1Result(measured=measured)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table1().render())

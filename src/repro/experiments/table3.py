@@ -1,0 +1,52 @@
+"""Table III: execution time and memory consumption for Gadget-2.
+
+Paper reference (256 cores):
+
+    | # cores | MPI      | time(s) | avg mem (MB) | max mem (MB) |
+    | 256     | MPC HLS  | 1540    | 703          | 747          |
+    |         | MPC      | 1540    | 938          | 988          |
+    |         | Open MPI | 1438    | 1731         | 1742         |
+
+Expected shape: HLS saves ~7 x 33MB ~ 230MB/node; the Open MPI column
+is far above MPC because Gadget's all-pairs communication pattern
+instantiates eager buffers for every connection; HLS time overhead
+negligible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.apps.eulermhd import AppRunResult
+from repro.apps.gadget import GadgetConfig, run_gadget
+from repro.experiments.table2 import MemoryTableResult, VARIANTS
+
+PAPER = {
+    (256, "MPC HLS"): (1540, 703, 747),
+    (256, "MPC"): (1540, 938, 988),
+    (256, "Open MPI"): (1438, 1731, 1742),
+}
+
+
+def run_table3(
+    *, core_counts: Sequence[int] = (256,), **config_overrides
+) -> MemoryTableResult:
+    """Regenerate Table III."""
+    rows: Dict[Tuple[int, str], AppRunResult] = {}
+    for cores in core_counts:
+        if cores % 8:
+            raise ValueError("core counts must be multiples of 8 (8/node)")
+        for label, runtime, hls in VARIANTS:
+            cfg = GadgetConfig(
+                n_nodes=cores // 8, runtime=runtime, hls=hls, **config_overrides
+            )
+            rows[(cores, label)] = run_gadget(cfg)
+    return MemoryTableResult(
+        title="Table III -- Gadget-2 time and memory per node",
+        paper=PAPER,
+        rows=rows,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_table3().render())

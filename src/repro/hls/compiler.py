@@ -1,0 +1,322 @@
+"""Source-to-source HLS compiler (the GCC ``-fhls`` pass analog).
+
+The paper's compiler "detects and parses the pragmas, modifies the code
+and the visibility of the variables accordingly, and generates calls to
+runtime functions" (section IV).  This module does the same for a
+Python dialect: ``#pragma hls ...`` comment lines in the source are
+scanned (comments do not survive ``ast.parse``, so a line scan pairs
+each pragma with the next statement), then an AST transformation
+
+* rewrites every *load* of a registered global ``g`` into
+  ``__hls__.get('g')`` -- the moral equivalent of
+  ``ptr_a = hls_get_addr_node(0, 0); *ptr_a`` in section IV-A;
+* rejects rebinding a registered global (``g = ...``), mirroring the
+  fact that a C global's address is fixed -- element updates
+  (``g[i] = v``, ``g += 1`` through views) remain possible;
+* wraps the statement following ``#pragma hls single(...)`` in the
+  generated ``if __hls__.single_enter(...): ... __hls__.single_done(...)``
+  form of section IV-B;
+* turns ``#pragma hls barrier(...)`` into an ``__hls__.barrier(...)``
+  call;
+* handles ``#pragma hls <scope>(...)`` at module level by registering
+  the named globals as HLS variables of that scope.
+
+Entry points: :func:`hls_compile` (decorator-style, one function) and
+:func:`compile_module_source` (whole "compilation unit").
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hls.directives import Directive, PragmaError, is_pragma, parse_pragma
+from repro.hls.program import HLSProgram
+
+
+class HLSCompileError(SyntaxError):
+    """Source-level HLS violation."""
+
+
+def scan_pragmas(source: str) -> List[Tuple[int, Directive]]:
+    """All pragma directives in ``source`` with their 1-based line numbers."""
+    out: List[Tuple[int, Directive]] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if is_pragma(line):
+            out.append((lineno, parse_pragma(line)))
+    return out
+
+
+class _AccessRewriter(ast.NodeTransformer):
+    """Rewrite loads of registered globals through the HLS handle."""
+
+    def __init__(self, hls_names: Sequence[str]) -> None:
+        self.hls_names = set(hls_names)
+        self._local_shadows: set = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.AST:
+        # Parameters shadow globals inside nested functions.
+        shadow = {a.arg for a in node.args.args + node.args.kwonlyargs}
+        saved = self._local_shadows
+        self._local_shadows = saved | shadow
+        self.generic_visit(node)
+        self._local_shadows = saved
+        return node
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Name(self, node: ast.Name) -> ast.AST:
+        if node.id not in self.hls_names or node.id in self._local_shadows:
+            return node
+        if isinstance(node.ctx, ast.Load):
+            return ast.copy_location(
+                ast.Call(
+                    func=ast.Attribute(
+                        value=ast.Name(id="__hls__", ctx=ast.Load()),
+                        attr="get",
+                        ctx=ast.Load(),
+                    ),
+                    args=[ast.Constant(value=node.id)],
+                    keywords=[],
+                ),
+                node,
+            )
+        raise HLSCompileError(
+            f"line {node.lineno}: cannot rebind HLS/global variable "
+            f"{node.id!r}; update its contents instead (e.g. "
+            f"{node.id}[...] = value)"
+        )
+
+
+def _single_wrap(stmt: ast.stmt, d: Directive) -> ast.stmt:
+    """``stmt`` -> ``if __hls__.single_enter(vars, nowait=..): try: stmt
+    finally: __hls__.single_done(vars, nowait=..)``."""
+    vars_tuple = ast.Tuple(
+        elts=[ast.Constant(value=v) for v in d.variables], ctx=ast.Load()
+    )
+    nowait_kw = ast.keyword(arg="nowait", value=ast.Constant(value=d.nowait))
+
+    def handle_call(method: str) -> ast.Call:
+        return ast.Call(
+            func=ast.Attribute(
+                value=ast.Name(id="__hls__", ctx=ast.Load()),
+                attr=method,
+                ctx=ast.Load(),
+            ),
+            args=[vars_tuple],
+            keywords=[nowait_kw],
+        )
+
+    body = ast.Try(
+        body=[stmt],
+        handlers=[],
+        orelse=[],
+        finalbody=[ast.Expr(value=handle_call("single_done"))],
+    )
+    wrapped = ast.If(test=handle_call("single_enter"), body=[body], orelse=[])
+    return ast.copy_location(wrapped, stmt)
+
+
+def _barrier_stmt(d: Directive, template: ast.stmt) -> ast.stmt:
+    call = ast.Expr(
+        value=ast.Call(
+            func=ast.Attribute(
+                value=ast.Name(id="__hls__", ctx=ast.Load()),
+                attr="barrier",
+                ctx=ast.Load(),
+            ),
+            args=[
+                ast.Tuple(
+                    elts=[ast.Constant(value=v) for v in d.variables],
+                    ctx=ast.Load(),
+                )
+            ],
+            keywords=[],
+        )
+    )
+    return ast.copy_location(call, template)
+
+
+def _apply_directives_to_body(
+    body: List[ast.stmt], pragmas: List[Tuple[int, Directive]], consumed: set
+) -> List[ast.stmt]:
+    """Attach each pragma to the first statement starting after it.
+
+    Pragmas preceding a statement are bound to it *before* recursing
+    into its nested blocks, so a pragma just above a compound statement
+    wraps the whole compound, while pragmas inside its body (larger line
+    numbers) are bound during the recursion.
+    """
+    out: List[ast.stmt] = []
+    for stmt in body:
+        mine = [
+            (ln, d)
+            for ln, d in pragmas
+            if ln not in consumed and ln < stmt.lineno
+        ]
+        for ln, _d in mine:
+            consumed.add(ln)
+        for field in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, field, None)
+            if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                setattr(
+                    stmt, field, _apply_directives_to_body(sub, pragmas, consumed)
+                )
+        for handler in getattr(stmt, "handlers", []) or []:
+            handler.body = _apply_directives_to_body(
+                handler.body, pragmas, consumed
+            )
+        wrapped: ast.stmt = stmt
+        for ln, d in mine:
+            if d.kind == "barrier":
+                out.append(_barrier_stmt(d, stmt))
+            elif d.kind == "single":
+                wrapped = _single_wrap(wrapped, d)
+            else:
+                raise HLSCompileError(
+                    f"line {ln}: scope pragma {d} is only valid at module "
+                    f"level (like threadprivate)"
+                )
+        out.append(wrapped)
+    return out
+
+
+def _compile_function_ast(
+    func_def: ast.FunctionDef,
+    pragmas: List[Tuple[int, Directive]],
+    hls_names: Sequence[str],
+) -> ast.FunctionDef:
+    if not func_def.args.args:
+        raise HLSCompileError(
+            f"HLS-compiled function {func_def.name!r} must take the task "
+            f"context as its first parameter"
+        )
+    consumed: set = set()
+    end = func_def.end_lineno if func_def.end_lineno is not None else 10**9
+    local = [(ln, d) for ln, d in pragmas if func_def.lineno <= ln <= end]
+    func_def.body = _apply_directives_to_body(func_def.body, local, consumed)
+    dangling = [(ln, d) for ln, d in local if ln not in consumed and d.kind != "scope"]
+    if dangling:
+        ln, d = dangling[0]
+        raise HLSCompileError(
+            f"line {ln}: pragma {d} is not followed by a statement"
+        )
+    func_def = _AccessRewriter(hls_names).visit(func_def)
+    ctx_name = func_def.args.args[0].arg
+    inject = ast.parse(
+        f"__hls__ = __hls_program__.attach({ctx_name})"
+    ).body[0]
+    func_def.body.insert(0, inject)
+    func_def.decorator_list = []
+    ast.fix_missing_locations(func_def)
+    return func_def
+
+
+def hls_compile(program: HLSProgram) -> Callable[[Callable], Callable]:
+    """Decorator: compile one task function against ``program``.
+
+    The function's first parameter must be the task context.  Usage::
+
+        @hls_compile(prog)
+        def main(ctx):
+            #pragma hls single(table)
+            load(table)
+            use(table)
+    """
+
+    def deco(func: Callable) -> Callable:
+        source = textwrap.dedent(inspect.getsource(func))
+        pragmas = scan_pragmas(source)
+        tree = ast.parse(source)
+        func_def = tree.body[0]
+        if not isinstance(func_def, ast.FunctionDef):
+            raise HLSCompileError("hls_compile expects a plain function")
+        func_def = _compile_function_ast(
+            func_def, pragmas, program.registry.names()
+        )
+        module = ast.Module(body=[func_def], type_ignores=[])
+        ast.fix_missing_locations(module)
+        code = compile(module, filename=f"<hls:{func.__name__}>", mode="exec")
+        namespace: Dict[str, Any] = dict(func.__globals__)
+        # Recompilation through exec() cannot rebuild cell closures;
+        # freeze the captured values instead (like the C compiler sees
+        # resolved symbols at link time).
+        namespace.update(inspect.getclosurevars(func).nonlocals)
+        namespace["__hls_program__"] = program
+        exec(code, namespace)
+        compiled = namespace[func.__name__]
+        compiled.__hls_compiled__ = True
+        compiled.__wrapped__ = func
+        return compiled
+
+    return deco
+
+
+def compile_module_source(
+    source: str,
+    program: HLSProgram,
+    *,
+    extra_globals: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Compile a whole "compilation unit".
+
+    The source is executed once to materialise module-level globals;
+    every global named in a ``#pragma hls <scope>(...)`` directive is
+    registered as an HLS variable of that scope (its executed value
+    becomes the initializer); every top-level function is then compiled
+    like :func:`hls_compile`.  Returns the namespace of compiled
+    functions.
+    """
+    pragmas = scan_pragmas(source)
+    namespace: Dict[str, Any] = {"np": np}
+    if extra_globals:
+        namespace.update(extra_globals)
+    exec(compile(source, "<hls-module>", "exec"), namespace)
+
+    # Register scope-pragma'd globals.
+    for _ln, d in pragmas:
+        if d.kind != "scope":
+            continue
+        for name in d.variables:
+            if name not in namespace:
+                raise HLSCompileError(
+                    f"pragma names undefined module variable {name!r}"
+                )
+            value = np.asarray(namespace[name])
+            shape = value.shape if value.shape else (1,)
+            init = value.reshape(shape).copy()
+            program.declare(
+                name,
+                shape=shape,
+                dtype=value.dtype,
+                scope=d.scope,
+                initializer=lambda v=init: v,
+            )
+
+    hls_names = program.registry.names()
+    tree = ast.parse(source)
+    out: Dict[str, Any] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        func_def = _compile_function_ast(node, pragmas, hls_names)
+        module = ast.Module(body=[func_def], type_ignores=[])
+        ast.fix_missing_locations(module)
+        code = compile(module, filename=f"<hls-module:{func_def.name}>", mode="exec")
+        fn_ns = dict(namespace)
+        fn_ns["__hls_program__"] = program
+        exec(code, fn_ns)
+        out[func_def.name] = fn_ns[func_def.name]
+    return out
+
+
+__all__ = [
+    "HLSCompileError",
+    "scan_pragmas",
+    "hls_compile",
+    "compile_module_source",
+]

@@ -1,0 +1,107 @@
+"""Parsing of ``#pragma hls`` directives.
+
+Grammar (paper section II-B)::
+
+    #pragma hls <scope>(var1, ..., varN) [level(L)]     scope directive
+    #pragma hls single(var1, ..., varN) [nowait]        single
+    #pragma hls barrier(var1, ..., varN)                barrier
+
+with ``<scope>`` one of ``node``, ``numa``, ``cache``, ``core``.  The
+same parser serves the source-to-source compiler (pragmas as Python
+comments) and the Fortran-style prefix ``!$hls`` accepted for symmetry
+with the paper's multi-language support.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.machine.scopes import ScopeKind, ScopeSpec
+
+
+class PragmaError(ValueError):
+    """Malformed ``#pragma hls`` line."""
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed directive."""
+
+    kind: str                    # "scope" | "single" | "barrier"
+    variables: Tuple[str, ...]
+    scope: Optional[ScopeSpec] = None   # for kind == "scope"
+    nowait: bool = False                # for kind == "single"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        head = str(self.scope.kind) if self.kind == "scope" else self.kind
+        s = f"#pragma hls {head}({', '.join(self.variables)})"
+        if self.kind == "scope" and self.scope and self.scope.level is not None:
+            s += f" level({self.scope.level})"
+        if self.nowait:
+            s += " nowait"
+        return s
+
+
+_PRAGMA_RE = re.compile(
+    r"^\s*(?:#\s*pragma|!\$)\s+hls\s+(?P<head>\w+)\s*"
+    r"\(\s*(?P<vars>[^)]*)\)\s*(?P<tail>.*)$"
+)
+_LEVEL_RE = re.compile(r"^level\s*\(\s*(\d+)\s*\)$")
+
+_SCOPE_HEADS = {k.value for k in ScopeKind}
+
+
+def is_pragma(line: str) -> bool:
+    """Cheap test whether a source line looks like an HLS pragma."""
+    stripped = line.strip()
+    return (
+        stripped.startswith(("#pragma", "# pragma", "!$"))
+        and "hls" in stripped.split("(")[0]
+    )
+
+
+def parse_pragma(line: str) -> Directive:
+    """Parse one pragma line into a :class:`Directive`."""
+    m = _PRAGMA_RE.match(line.strip())
+    if m is None:
+        raise PragmaError(f"malformed hls pragma: {line!r}")
+    head = m.group("head").lower()
+    var_text = m.group("vars").strip()
+    tail = m.group("tail").strip()
+    variables = tuple(v.strip() for v in var_text.split(",") if v.strip())
+    if not variables:
+        raise PragmaError(f"hls pragma needs at least one variable: {line!r}")
+    for v in variables:
+        if not v.isidentifier():
+            raise PragmaError(f"bad variable name {v!r} in pragma: {line!r}")
+
+    if head == "single":
+        if tail and tail != "nowait":
+            raise PragmaError(f"unexpected trailer {tail!r} on single pragma")
+        return Directive(kind="single", variables=variables, nowait=tail == "nowait")
+
+    if head == "barrier":
+        if tail:
+            raise PragmaError(f"unexpected trailer {tail!r} on barrier pragma")
+        return Directive(kind="barrier", variables=variables)
+
+    if head in _SCOPE_HEADS:
+        level = None
+        if tail:
+            lm = _LEVEL_RE.match(tail)
+            if lm is None:
+                raise PragmaError(f"unexpected trailer {tail!r} on scope pragma")
+            level = int(lm.group(1))
+        kind = ScopeKind(head)
+        if kind in (ScopeKind.CORE, ScopeKind.NODE) and level is not None:
+            raise PragmaError(f"scope {head!r} does not accept level()")
+        return Directive(
+            kind="scope", variables=variables, scope=ScopeSpec(kind, level)
+        )
+
+    raise PragmaError(f"unknown hls directive {head!r} in: {line!r}")
+
+
+__all__ = ["Directive", "PragmaError", "is_pragma", "parse_pragma"]

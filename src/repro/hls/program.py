@@ -1,0 +1,224 @@
+"""User-facing HLS API: programs and per-task handles.
+
+An :class:`HLSProgram` binds a variable registry, storage and
+synchronisation to a runtime.  ``enabled=False`` reproduces the paper's
+compatibility guarantee -- "a compiler unaware of these directives can
+ignore them and should generate a correct code": every variable becomes
+private per task, ``single`` blocks run on every task (each initialises
+its own copy) and ``barrier`` is a no-op.  The same application code
+therefore runs in both modes, which is exactly how the evaluation's
+"without HLS" baselines are produced.
+
+Per-task :class:`HLSHandle` objects expose the compiled form of the
+directives (``single_enter``/``single_done`` mirror the generated
+``hls_single()``/``hls_single_done()`` calls of section IV-B) plus
+convenience wrappers (:meth:`HLSHandle.single` running a callable).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.machine.scopes import ScopeSpec
+from repro.hls.storage import HLSStorage
+from repro.hls.sync import HLSSync
+from repro.hls.variable import HLSDeclarationError, HLSRegistry, HLSVariable
+
+ScopeLike = Union[str, ScopeSpec, None]
+
+
+def _as_scope(scope: ScopeLike) -> Optional[ScopeSpec]:
+    if scope is None or isinstance(scope, ScopeSpec):
+        return scope
+    return ScopeSpec.parse(scope)
+
+
+class HLSProgram:
+    """One application's HLS state on one runtime."""
+
+    def __init__(self, runtime, *, enabled: bool = True,
+                 barrier_algorithm: str = "auto") -> None:
+        self.runtime = runtime
+        self.enabled = enabled
+        self.registry = HLSRegistry()
+        self.storage = HLSStorage(runtime, self.registry)
+        self.sync = HLSSync(runtime, barrier_algorithm=barrier_algorithm)
+        runtime.migration_checks.append(self.sync.check_migration)
+
+    # ------------------------------------------------------------- declaring
+    def declare(
+        self,
+        name: str,
+        *,
+        shape: Tuple[int, ...] = (),
+        dtype: Any = np.float64,
+        scope: ScopeLike = None,
+        initializer: Optional[Callable[[], np.ndarray]] = None,
+        virtual_bytes: Optional[int] = None,
+    ) -> HLSVariable:
+        """Declare a global variable.  ``scope=None`` keeps it private
+        per task (a plain global); a scope string ("node", "numa",
+        "cache level(2)", "core") marks it HLS.  When the program is
+        built with ``enabled=False`` all scopes collapse to private.
+        ``virtual_bytes`` sets the accounting size (for footprint
+        studies at the paper's true scales with small live buffers)."""
+        spec = _as_scope(scope)
+        if not self.enabled:
+            spec = None
+        return self.registry.declare(
+            name, shape=shape, dtype=dtype, scope=spec,
+            initializer=initializer, virtual_bytes=virtual_bytes,
+        )
+
+    def mark_hls(self, name: str, scope: ScopeLike) -> HLSVariable:
+        """``#pragma hls scope(name)`` on an existing declaration."""
+        spec = _as_scope(scope)
+        if spec is None:
+            raise HLSDeclarationError("mark_hls needs a concrete scope")
+        if not self.enabled:
+            return self.registry[name]
+        return self.registry.set_scope(name, spec)
+
+    # -------------------------------------------------------------- handles
+    def attach(self, ctx) -> "HLSHandle":
+        """The per-task handle (call once per task, in ``main``)."""
+        if ctx.hls is None:
+            ctx.hls = HLSHandle(self, ctx)
+        return ctx.hls
+
+    # ------------------------------------------------------------ accounting
+    def hls_footprint_per_copy(self) -> int:
+        return self.registry.hls_bytes()
+
+    def expected_node_saving(self, tasks_per_node: int) -> int:
+        """The paper's headline arithmetic: sharing at node scope saves
+        ``(tasks_per_node - 1) x sizeof(HLS vars)`` per node."""
+        return (tasks_per_node - 1) * self.registry.hls_bytes()
+
+    # ---------------------------------------------------------------- helpers
+    def _scope_of_vars(self, names: Sequence[str]) -> ScopeSpec:
+        """Common scope of a single's variable list; mismatch is a
+        compile error per section II-B2."""
+        if not names:
+            raise HLSDeclarationError("directive needs at least one variable")
+        scopes = []
+        for n in names:
+            var = self.registry[n]
+            if not var.is_hls:
+                raise HLSDeclarationError(
+                    f"variable {n!r} is not HLS; directives require HLS variables"
+                )
+            scopes.append(var.scope)
+        if any(s != scopes[0] for s in scopes):
+            raise HLSDeclarationError(
+                f"variables {list(names)} do not share one HLS scope: {scopes}"
+            )
+        return scopes[0]
+
+    def _widest_scope(self, names: Sequence[str]) -> ScopeSpec:
+        if not names:
+            raise HLSDeclarationError("barrier needs at least one variable")
+        specs = []
+        for n in names:
+            var = self.registry[n]
+            if not var.is_hls:
+                raise HLSDeclarationError(
+                    f"variable {n!r} is not HLS; directives require HLS variables"
+                )
+            specs.append(var.scope)
+        return self.runtime.machine.widest(specs)
+
+
+def _names(names: Union[str, Iterable[str]]) -> Tuple[str, ...]:
+    if isinstance(names, str):
+        return (names,)
+    return tuple(names)
+
+
+class HLSHandle:
+    """Per-task view of an :class:`HLSProgram`."""
+
+    def __init__(self, program: HLSProgram, ctx) -> None:
+        self.program = program
+        self.ctx = ctx
+
+    # -------------------------------------------------------------- access
+    def get(self, name: str) -> np.ndarray:
+        """This task's live view of a variable (shared memory iff HLS)."""
+        return self.program.storage.get(self.ctx, name)
+
+    __getitem__ = get
+
+    def addr(self, name: str) -> int:
+        """Simulated address of this task's copy, for trace generation."""
+        return self.program.storage.addr(self.ctx, name)
+
+    def scope_instance(self, name: str):
+        var = self.program.registry[name]
+        if var.scope is None:
+            return None
+        return self.program.storage.scope_instance(self.ctx, var.scope)
+
+    # ----------------------------------------------------------- directives
+    def single_enter(self, names: Union[str, Iterable[str]], *,
+                     nowait: bool = False) -> bool:
+        """Compiled form of ``#pragma hls single(names) [nowait]``.
+
+        Returns True for the task that must execute the block; that task
+        must call :meth:`single_done` afterwards (unless ``nowait``)."""
+        ns = _names(names)
+        if not self.program.enabled:
+            return True      # every task runs the block on its own copy
+        spec = self.program._scope_of_vars(ns)
+        if nowait:
+            return self.program.sync.single_nowait_enter(self.ctx, spec)
+        return self.program.sync.single_enter(self.ctx, spec)
+
+    def single_done(self, names: Union[str, Iterable[str]], *,
+                    nowait: bool = False) -> None:
+        if not self.program.enabled or nowait:
+            return
+        spec = self.program._scope_of_vars(_names(names))
+        self.program.sync.single_done(self.ctx, spec)
+
+    def single(self, names: Union[str, Iterable[str]],
+               body: Callable[[], Any], *, nowait: bool = False) -> None:
+        """Run ``body`` under single semantics (convenience wrapper)."""
+        if self.single_enter(names, nowait=nowait):
+            try:
+                body()
+            finally:
+                self.single_done(names, nowait=nowait)
+
+    def barrier(self, names: Union[str, Iterable[str]]) -> None:
+        """``#pragma hls barrier(names)``: synchronise the largest scope
+        of the listed variables."""
+        ns = _names(names)
+        if not self.program.enabled:
+            return
+        spec = self.program._widest_scope(ns)
+        self.program.sync.barrier(self.ctx, spec)
+
+    # ------------------------------------------------- faithful ABI (IV-A)
+    def hls_get_addr_node(self, mod: int, off: int) -> int:
+        return self._get_addr("node", mod, off)
+
+    def hls_get_addr_numa(self, mod: int, off: int) -> int:
+        return self._get_addr("numa", mod, off)
+
+    def hls_get_addr_cache(self, mod: int, off: int, *, level: Optional[int] = None) -> int:
+        spec = ScopeSpec.parse("cache" if level is None else f"cache({level})")
+        return self.program.storage.hls_get_addr(self.ctx, spec, mod, off)
+
+    def hls_get_addr_core(self, mod: int, off: int) -> int:
+        return self._get_addr("core", mod, off)
+
+    def _get_addr(self, scope: str, mod: int, off: int) -> int:
+        spec = ScopeSpec.parse(scope)
+        return self.program.storage.hls_get_addr(self.ctx, spec, mod, off)
+
+
+__all__ = ["HLSProgram", "HLSHandle"]

@@ -1,0 +1,143 @@
+"""HLS on process-based MPIs: the shared-segment backend (section IV-C).
+
+"To be able to share variables and use shared-memory synchronization
+algorithms, all HLS variables and the corresponding structures must be
+allocated in a memory segment shared by all processes of the same node.
+Additionally this shared memory segment should start with the same
+virtual address for all processes on the node" -- the isomalloc
+technique of PM2.
+
+Here each node gets one :class:`~repro.memsim.address_space.AddressSpace`
+carved at a *fixed base address identical on every node* (the isomalloc
+property), and :func:`enable_process_hls` installs it as the runtime's
+``hls_segment`` so :class:`~repro.hls.storage.HLSStorage` routes HLS
+allocations into it instead of per-process memory.  The
+:class:`InterposedHeap` plays the role of the ``LD_PRELOAD`` malloc
+interposer: allocations made while a task is inside a ``single`` block
+land in the shared segment, others in the task's private space.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.memsim.address_space import AddressSpace, Allocation
+from repro.runtime.process_mpi import ProcessRuntime
+
+#: The fixed virtual base of the shared segment; identical on all nodes
+#: (and thus on all processes), which is what makes cross-process
+#: pointers to HLS data valid.
+SEGMENT_BASE = 1 << 45
+SEGMENT_STRIDE = 1 << 40   # keeps per-node segments disjoint *globally*
+                           # while bases coincide per-process on a node
+
+
+class SharedSegmentManager:
+    """Per-node shared segments with the same-virtual-address property."""
+
+    def __init__(self, runtime: ProcessRuntime) -> None:
+        self.runtime = runtime
+        self._segments: Dict[int, AddressSpace] = {}
+        self._lock = threading.Lock()
+
+    def segment(self, node: int) -> AddressSpace:
+        with self._lock:
+            seg = self._segments.get(node)
+            if seg is None:
+                # Every process on `node` maps the segment at the same
+                # virtual address (SEGMENT_BASE); distinct nodes never
+                # exchange raw pointers, so a global simulator may place
+                # them at disjoint ranges internally.
+                seg = AddressSpace(base=SEGMENT_BASE, name=f"hls-segment-node{node}")
+                self._segments[node] = seg
+            return seg
+
+    def node_bytes(self, node: int) -> int:
+        seg = self._segments.get(node)
+        return seg.live_bytes if seg is not None else 0
+
+    def virtual_base(self, node: int) -> int:
+        """The address every process on ``node`` sees the segment at."""
+        return SEGMENT_BASE
+
+
+class InterposedHeap:
+    """LD_PRELOAD-style allocator interposition.
+
+    While :meth:`inside_single` is active for a task, its dynamic
+    allocations are redirected to the node's shared segment (so an HLS
+    pointer assigned inside a ``single`` block references memory every
+    process can address); otherwise they go to the task's private space.
+    """
+
+    def __init__(self, runtime: ProcessRuntime, segments: SharedSegmentManager) -> None:
+        self.runtime = runtime
+        self.segments = segments
+        self._depth: Dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def enter_single(self, rank: int) -> None:
+        with self._lock:
+            self._depth[rank] = self._depth.get(rank, 0) + 1
+
+    def exit_single(self, rank: int) -> None:
+        with self._lock:
+            d = self._depth.get(rank, 0)
+            if d <= 0:
+                raise RuntimeError(f"task {rank}: exit_single without enter")
+            self._depth[rank] = d - 1
+
+    def inside_single(self, rank: int) -> bool:
+        with self._lock:
+            return self._depth.get(rank, 0) > 0
+
+    def malloc(self, rank: int, nbytes: int, *, label: str = "") -> Allocation:
+        if self.inside_single(rank):
+            node = self.runtime.node_of(rank)
+            return self.segments.segment(node).alloc(
+                nbytes, label=label or "heap(shared)", kind="hls"
+            )
+        return self.runtime.task_space(rank).alloc(
+            nbytes, label=label or "heap", kind="app", owner=rank
+        )
+
+    def free(self, rank: int, alloc: Allocation) -> None:
+        # The allocation's address range identifies which space owns it.
+        node = self.runtime.node_of(rank)
+        seg = self.segments.segment(node)
+        if seg.find(alloc.addr) is alloc:
+            seg.free(alloc)
+        else:
+            self.runtime.task_space(rank).free(alloc)
+
+
+def enable_process_hls(runtime: ProcessRuntime) -> SharedSegmentManager:
+    """Wire the shared-segment backend into a process-based runtime.
+
+    After this, :class:`~repro.hls.storage.HLSStorage` allocates HLS
+    module images in the node's shared segment, and
+    ``runtime.node_live_bytes`` counts the segment once per node (not
+    once per process).  Returns the manager for inspection.
+    """
+    if not isinstance(runtime, ProcessRuntime):
+        raise TypeError("shared segments are only needed for process-based MPIs")
+    mgr = SharedSegmentManager(runtime)
+    runtime.hls_segment = mgr.segment  # consumed by HLSStorage
+
+    orig_node_live = runtime.node_live_bytes
+
+    def node_live_bytes(node: int) -> int:
+        return orig_node_live(node) + mgr.node_bytes(node)
+
+    runtime.node_live_bytes = node_live_bytes  # type: ignore[method-assign]
+    runtime.hls_segment_manager = mgr
+    return mgr
+
+
+__all__ = [
+    "SEGMENT_BASE",
+    "SharedSegmentManager",
+    "InterposedHeap",
+    "enable_process_hls",
+]

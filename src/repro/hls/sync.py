@@ -1,0 +1,264 @@
+"""HLS synchronization: barrier, single, single nowait.
+
+Three directives (paper section IV-B):
+
+* ``#pragma hls barrier(vars)`` -- synchronises every MPI task of the
+  *largest* scope among the listed variables;
+* ``#pragma hls single(vars)`` -- fused into one modified barrier: the
+  **last** task entering executes the block (``hls_single`` returns
+  true for it), then ``hls_single_done`` releases the waiters;
+* ``#pragma hls single(vars) nowait`` -- the **first** task entering
+  executes; per-task counters against a shared per-scope counter
+  guarantee exactly-once without any barrier.
+
+Two barrier algorithms are provided, as in the paper: a *flat*
+counter+lock barrier, and for the wide scopes (``numa``, ``node``) a
+*shared-cache-aware hierarchical* barrier where "all MPI tasks in the
+same llc scope synchronize first and only one of them goes to the next
+scope".  Functionally both are barriers; they differ in how many
+synchronisation operations cross a shared-cache boundary, which the
+state exposes as ``local_ops`` / ``cross_ops`` for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.machine.scopes import ScopeInstance, ScopeKind, ScopeSpec
+from repro.runtime.errors import AbortError, DeadlockError, MigrationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.task import TaskContext
+
+
+class ScopeSyncState:
+    """Synchronisation state of one scope instance."""
+
+    def __init__(
+        self,
+        instance: ScopeInstance,
+        participants: Tuple[int, ...],
+        abort_flag: threading.Event,
+        *,
+        timeout: float,
+        groups: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if not participants:
+            raise ValueError(f"scope instance {instance} has no tasks")
+        self.instance = instance
+        self.participants = participants
+        self.size = len(participants)
+        self._abort = abort_flag
+        self._timeout = timeout
+        self._cond = threading.Condition()
+        self._count = 0
+        self._generation = 0
+        self._gcount: Dict[int, int] = {}
+        # groups: rank -> llc-group id (hierarchical algorithm); None = flat
+        self._groups = groups
+        self._gsizes: Dict[int, int] = {}
+        if groups is not None:
+            for r in participants:
+                g = groups[r]
+                self._gsizes[g] = self._gsizes.get(g, 0) + 1
+        self.epoch = 0               # completed barrier/single episodes
+        self.nowait_shared = 0       # executed single-nowait blocks
+        self._task_nowait: Dict[int, int] = {}
+        self.local_ops = 0           # llc-local synchronisation operations
+        self.cross_ops = 0           # operations crossing the llc boundary
+
+    # ----------------------------------------------------------- accounting
+    def _account_arrival(self, rank: int) -> None:
+        if self._groups is None:
+            self.cross_ops += 1      # flat: every arrival hits the hot counter
+            return
+        g = self._groups[rank]
+        self.local_ops += 1
+        self._gcount[g] = self._gcount.get(g, 0) + 1
+        if self._gcount[g] == self._gsizes[g]:
+            self.cross_ops += 1      # group leader goes to the next scope
+            self._gcount[g] = 0
+
+    def _wait_generation(self, gen: int) -> None:
+        deadline = self._timeout
+        while self._generation == gen:
+            if self._abort.is_set():
+                raise AbortError("job aborted during hls synchronization")
+            if not self._cond.wait(timeout=0.05):
+                deadline -= 0.05
+                if deadline <= 0:
+                    raise DeadlockError(
+                        f"hls sync on {self.instance} timed out with "
+                        f"{self._count}/{self.size} arrived -- did every "
+                        f"task of the scope execute the directive?"
+                    )
+
+    # -------------------------------------------------------------- barrier
+    def barrier(self, rank: int) -> None:
+        with self._cond:
+            self._account_arrival(rank)
+            gen = self._generation
+            self._count += 1
+            if self._count == self.size:
+                self._count = 0
+                self._generation += 1
+                self.epoch += 1
+                self._cond.notify_all()
+                return
+            self._wait_generation(gen)
+
+    # --------------------------------------------------------------- single
+    def single_enter(self, rank: int) -> bool:
+        """True for the task that must execute the block (the last one
+        to arrive, per section IV-B); the others block until
+        :meth:`single_done`."""
+        with self._cond:
+            self._account_arrival(rank)
+            gen = self._generation
+            self._count += 1
+            if self._count == self.size:
+                self._count = 0
+                return True
+            self._wait_generation(gen)
+            return False
+
+    def single_done(self, rank: int) -> None:
+        with self._cond:
+            self._generation += 1
+            self.epoch += 1
+            self._cond.notify_all()
+
+    # -------------------------------------------------------------- nowait
+    def single_nowait_enter(self, rank: int) -> bool:
+        """True for the first task reaching this (dynamic) single; no
+        barrier either way."""
+        with self._cond:
+            self._account_arrival(rank)
+            mine = self._task_nowait.get(rank, 0) + 1
+            self._task_nowait[rank] = mine
+            if mine > self.nowait_shared:
+                self.nowait_shared = mine
+                return True
+            return False
+
+    # ------------------------------------------------------------ migration
+    def sync_signature(self) -> Tuple[int, int]:
+        with self._cond:
+            return (self.epoch, self.nowait_shared)
+
+
+class HLSSync:
+    """All scope sync states of one program on one runtime."""
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        *,
+        barrier_algorithm: str = "auto",
+    ) -> None:
+        if barrier_algorithm not in ("auto", "flat", "hierarchical"):
+            raise ValueError(f"unknown barrier algorithm {barrier_algorithm!r}")
+        self.runtime = runtime
+        self.machine = runtime.machine
+        self.barrier_algorithm = barrier_algorithm
+        self._states: Dict[ScopeInstance, ScopeSyncState] = {}
+        self._lock = threading.Lock()
+        # a task's directive counts per scope spec, for MPC_Move checks
+        self._task_directives: Dict[Tuple[int, ScopeSpec], int] = {}
+        runtime.post_move_hooks.append(self._on_move)
+
+    # ----------------------------------------------------------------- state
+    def _participants(self, instance: ScopeInstance) -> Tuple[int, ...]:
+        m = self.machine
+        members = set(m.scope_members(instance))
+        return tuple(
+            r for r in range(self.runtime.n_tasks)
+            if self.runtime.task_pu(r) in members
+        )
+
+    def _use_hierarchical(self, spec: ScopeSpec) -> bool:
+        if self.barrier_algorithm != "auto":
+            return self.barrier_algorithm == "hierarchical"
+        # Paper: flat for all scopes except numa and node.
+        return spec.kind in (ScopeKind.NUMA, ScopeKind.NODE) and self.machine.llc_level > 0
+
+    def state(self, instance: ScopeInstance) -> ScopeSyncState:
+        with self._lock:
+            st = self._states.get(instance)
+            if st is None:
+                participants = self._participants(instance)
+                groups = None
+                if self._use_hierarchical(instance.spec):
+                    llc = ScopeSpec(ScopeKind.CACHE, self.machine.llc_level)
+                    groups = {
+                        r: self.machine.scope_instance(
+                            self.runtime.task_pu(r), llc
+                        ).index
+                        for r in participants
+                    }
+                st = ScopeSyncState(
+                    instance, participants, self.runtime.abort_flag,
+                    timeout=self.runtime.timeout, groups=groups,
+                )
+                self._states[instance] = st
+            return st
+
+    def _on_move(self, rank: int, new_pu: int) -> None:
+        # Participant sets are derived from pinning; drop idle states so
+        # they are rebuilt.  States with tasks mid-barrier would have
+        # refused the migration via the epoch check anyway.
+        with self._lock:
+            for inst in list(self._states):
+                st = self._states[inst]
+                if st._count == 0:
+                    del self._states[inst]
+
+    # ------------------------------------------------------------ operations
+    def _note_directive(self, rank: int, spec: ScopeSpec) -> None:
+        key = (rank, spec)
+        self._task_directives[key] = self._task_directives.get(key, 0) + 1
+
+    def barrier(self, ctx: "TaskContext", spec: ScopeSpec) -> None:
+        inst = self.machine.scope_instance(ctx.pu, spec)
+        self._note_directive(ctx.rank, spec)
+        self.state(inst).barrier(ctx.rank)
+
+    def single_enter(self, ctx: "TaskContext", spec: ScopeSpec) -> bool:
+        inst = self.machine.scope_instance(ctx.pu, spec)
+        self._note_directive(ctx.rank, spec)
+        return self.state(inst).single_enter(ctx.rank)
+
+    def single_done(self, ctx: "TaskContext", spec: ScopeSpec) -> None:
+        inst = self.machine.scope_instance(ctx.pu, spec)
+        self.state(inst).single_done(ctx.rank)
+
+    def single_nowait_enter(self, ctx: "TaskContext", spec: ScopeSpec) -> bool:
+        inst = self.machine.scope_instance(ctx.pu, spec)
+        self._note_directive(ctx.rank, spec)
+        return self.state(inst).single_nowait_enter(ctx.rank)
+
+    # ------------------------------------------------------------- migration
+    def check_migration(self, ctx: "TaskContext", new_pu: int) -> None:
+        """MPC_Move gate (section IV-A): the migrating task must have
+        encountered the same number of single/barrier directives as the
+        destination scope instance."""
+        for (rank, spec), count in self._task_directives.items():
+            if rank != ctx.rank:
+                continue
+            dst_inst = self.machine.scope_instance(new_pu, spec)
+            src_inst = self.machine.scope_instance(ctx.pu, spec)
+            if dst_inst == src_inst:
+                continue
+            st = self._states.get(dst_inst)
+            dst_count = sum(st.sync_signature()) if st is not None else 0
+            if dst_count != count:
+                raise MigrationError(
+                    f"task {ctx.rank} encountered {count} hls directives on "
+                    f"scope {spec} but destination {dst_inst} has seen "
+                    f"{dst_count}"
+                )
+
+
+__all__ = ["ScopeSyncState", "HLSSync"]

@@ -1,0 +1,44 @@
+"""Simulated machine topology: nodes, NUMA sockets, caches, cores.
+
+This package models the hardware the paper evaluates on.  HLS scopes
+(``node``, ``numa``, ``cache level(L)``, ``core``) are resolved against a
+:class:`~repro.machine.topology.Machine` instance: two MPI tasks share an HLS
+variable iff the processing units they are pinned to belong to the same
+*scope instance* (e.g. the same socket for the ``numa`` scope).
+
+Presets mirror the paper's two testbeds:
+
+* :func:`~repro.machine.presets.nehalem_ex_node` -- the 4-socket
+  Nehalem-EX node (4 x 8 cores, 18MB shared L3 per socket) used for the
+  cache-footprint experiments (Table I, Figure 3).
+* :func:`~repro.machine.presets.core2_cluster` -- the InfiniBand cluster of
+  dual Core2-quad nodes (8 cores/node) used for the memory-footprint
+  experiments (Tables II-IV).
+"""
+
+from repro.machine.scopes import ScopeKind, ScopeSpec, ScopeInstance, scope_rank
+from repro.machine.topology import (
+    CacheSpec,
+    ProcessingUnit,
+    Machine,
+    build_machine,
+)
+from repro.machine.presets import (
+    nehalem_ex_node,
+    core2_cluster,
+    small_test_machine,
+)
+
+__all__ = [
+    "ScopeKind",
+    "ScopeSpec",
+    "ScopeInstance",
+    "scope_rank",
+    "CacheSpec",
+    "ProcessingUnit",
+    "Machine",
+    "build_machine",
+    "nehalem_ex_node",
+    "core2_cluster",
+    "small_test_machine",
+]

@@ -1,0 +1,116 @@
+"""Machine presets mirroring the paper's testbeds.
+
+Two real platforms appear in the evaluation:
+
+* Section V-A (Table I, Figure 3): one node with 4 Nehalem-EX sockets
+  (Intel Xeon X7550 @ 2.00GHz), 8 cores per socket, 18MB shared L3 per
+  socket.  On this node NUMA == socket, so ``hls numa`` and
+  ``hls cache level(llc)`` coincide -- a property tests assert.
+* Section V-B (Tables II-IV): an InfiniBand cluster of up to 92 nodes
+  with 2 Intel Xeon E5462 (Core2 quad) per node, 8 cores per node.
+
+Scaled-down variants are provided for fast tests: the simulator works at
+cache-line granularity, so shrinking sizes by a constant factor
+preserves the fits-in-cache / does-not-fit structure the experiments
+rely on.
+"""
+
+from __future__ import annotations
+
+from repro.machine.topology import CacheSpec, Machine, build_machine
+
+
+def nehalem_ex_node(*, scale: int = 1, smt: int = 1) -> Machine:
+    """The 4-socket Nehalem-EX node of section V-A.
+
+    ``scale`` divides every cache size (keeping line size and latency),
+    letting tests and CI run the Table I / Figure 3 workloads on
+    proportionally smaller footprints.  ``scale=1`` is the paper's
+    geometry: L1 32KB/8-way, L2 256KB/8-way, L3 18MB/24-way shared by
+    the 8 cores of a socket.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    caches = [
+        CacheSpec(level=1, size_bytes=max(32 << 10, 32 << 10) // scale,
+                  line_bytes=64, associativity=8, latency_cycles=4,
+                  shared_cores=1),
+        CacheSpec(level=2, size_bytes=(256 << 10) // scale,
+                  line_bytes=64, associativity=8, latency_cycles=10,
+                  shared_cores=1),
+        CacheSpec(level=3, size_bytes=(18 << 20) // scale // (64 * 24) * (64 * 24),
+                  line_bytes=64, associativity=24, latency_cycles=40,
+                  shared_cores=8),
+    ]
+    return build_machine(
+        n_nodes=1,
+        sockets_per_node=4,
+        cores_per_socket=8,
+        smt=smt,
+        caches=caches,
+        dram_bytes_per_node=128 << 30,
+        mem_latency_cycles=220,
+        mem_bandwidth_lines_per_cycle=0.4,
+        numa_levels=1,
+        name=f"nehalem-ex-4s{'' if scale == 1 else f'/scale{scale}'}",
+    )
+
+
+def core2_cluster(n_nodes: int = 92, *, dram_bytes_per_node: int = 16 << 30) -> Machine:
+    """The Core2-quad InfiniBand cluster of section V-B.
+
+    2 sockets per node, 4 cores per socket (8 cores/node, matching the
+    "memory reduction of a factor 8 for HLS scope node" expectation).
+    The Core2 quad has no L3; each pair of cores shares a 6MB L2.
+    """
+    caches = [
+        CacheSpec(level=1, size_bytes=32 << 10, line_bytes=64,
+                  associativity=8, latency_cycles=3, shared_cores=1),
+        CacheSpec(level=2, size_bytes=6 << 20, line_bytes=64,
+                  associativity=24, latency_cycles=15, shared_cores=2),
+    ]
+    return build_machine(
+        n_nodes=n_nodes,
+        sockets_per_node=2,
+        cores_per_socket=4,
+        smt=1,
+        caches=caches,
+        dram_bytes_per_node=dram_bytes_per_node,
+        mem_latency_cycles=200,
+        mem_bandwidth_lines_per_cycle=0.5,
+        numa_levels=1,
+        name=f"core2-cluster-{n_nodes}n",
+    )
+
+
+def small_test_machine(
+    *, n_nodes: int = 1, sockets_per_node: int = 2, cores_per_socket: int = 2,
+    smt: int = 1,
+) -> Machine:
+    """A tiny machine with small caches for unit tests.
+
+    L1 private 1KB, L2 (LLC) 8KB shared per socket; geometry defaults to
+    2 sockets x 2 cores.
+    """
+    caches = [
+        CacheSpec(level=1, size_bytes=1 << 10, line_bytes=64,
+                  associativity=2, latency_cycles=2, shared_cores=1),
+        CacheSpec(level=2, size_bytes=8 << 10, line_bytes=64,
+                  associativity=4, latency_cycles=10,
+                  shared_cores=cores_per_socket),
+    ]
+    return build_machine(
+        n_nodes=n_nodes,
+        sockets_per_node=sockets_per_node,
+        cores_per_socket=cores_per_socket,
+        smt=smt,
+        caches=caches,
+        dram_bytes_per_node=1 << 30,
+        mem_latency_cycles=100,
+        mem_bandwidth_lines_per_cycle=0.5,
+        numa_levels=1,
+        name="small-test",
+    )
+
+
+__all__ = ["nehalem_ex_node", "core2_cluster", "small_test_machine"]

@@ -1,0 +1,293 @@
+"""Machine topology model.
+
+A :class:`Machine` is a cluster of identical *nodes*; each node holds
+``sockets_per_node`` sockets (one socket == one NUMA domain, as on the
+paper's Nehalem-EX testbed), each socket holds ``cores_per_socket``
+physical cores, and each core exposes ``smt`` hardware threads
+(*processing units*, PUs).  MPI tasks are pinned to PUs.
+
+Caches are described by :class:`CacheSpec`; each level is either private
+per core or shared by a group of cores within a socket.  The machine
+exposes scope-instance resolution used by the HLS runtime: given a PU and
+a :class:`~repro.machine.scopes.ScopeSpec`, return the scope instance the
+PU belongs to and the set of PUs sharing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.machine.scopes import ScopeInstance, ScopeKind, ScopeSpec, scope_rank
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and cost of one cache level.
+
+    ``shared_cores`` is the number of *physical cores* sharing one cache
+    instance: 1 for a private L1/L2, ``cores_per_socket`` for a socket-wide
+    LLC, 2 for the paired L2 of a Core2-quad.  Instances never span
+    sockets.
+    """
+
+    level: int
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    latency_cycles: int
+    shared_cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise ValueError("cache level must be >= 1")
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache and line sizes must be positive")
+        if self.size_bytes % self.line_bytes:
+            raise ValueError("cache size must be a multiple of the line size")
+        n_lines = self.size_bytes // self.line_bytes
+        if self.associativity < 1 or n_lines % self.associativity:
+            raise ValueError(
+                f"associativity {self.associativity} does not divide "
+                f"{n_lines} lines"
+            )
+        if self.shared_cores < 1:
+            raise ValueError("shared_cores must be >= 1")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.associativity
+
+
+@dataclass(frozen=True)
+class ProcessingUnit:
+    """One hardware thread; the unit MPI tasks are pinned to."""
+
+    gid: int                      # machine-global PU index
+    node: int                     # machine-global node index
+    numa: int                     # machine-global socket/NUMA index
+    core: int                     # machine-global physical-core index
+    smt: int                      # hardware-thread slot within the core
+    cache_instance: Tuple[Tuple[int, int], ...]  # ((level, global cache id), ...)
+
+    def cache_id(self, level: int) -> int:
+        for lvl, cid in self.cache_instance:
+            if lvl == level:
+                return cid
+        raise KeyError(f"PU {self.gid} has no cache at level {level}")
+
+
+class Machine:
+    """A simulated cluster; see module docstring.
+
+    Use :func:`build_machine` or a preset from
+    :mod:`repro.machine.presets` rather than constructing directly.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_nodes: int,
+        sockets_per_node: int,
+        cores_per_socket: int,
+        smt: int,
+        caches: Sequence[CacheSpec],
+        dram_bytes_per_node: int,
+        mem_latency_cycles: int,
+        mem_bandwidth_lines_per_cycle: float,
+        numa_levels: int = 1,
+        name: str = "machine",
+    ) -> None:
+        if n_nodes < 1 or sockets_per_node < 1 or cores_per_socket < 1 or smt < 1:
+            raise ValueError("topology extents must be >= 1")
+        if numa_levels not in (1, 2):
+            raise ValueError("numa_levels must be 1 (socket) or 2 (socket+node)")
+        levels = sorted(c.level for c in caches)
+        if levels != list(range(1, len(levels) + 1)):
+            raise ValueError(f"cache levels must be contiguous from 1, got {levels}")
+        for c in caches:
+            if c.shared_cores > cores_per_socket or cores_per_socket % c.shared_cores:
+                raise ValueError(
+                    f"L{c.level} shared_cores={c.shared_cores} must divide "
+                    f"cores_per_socket={cores_per_socket}"
+                )
+        self.name = name
+        self.n_nodes = n_nodes
+        self.sockets_per_node = sockets_per_node
+        self.cores_per_socket = cores_per_socket
+        self.smt = smt
+        self.numa_levels = numa_levels
+        self.caches: Dict[int, CacheSpec] = {c.level: c for c in sorted(caches, key=lambda c: c.level)}
+        self.llc_level = max(self.caches) if self.caches else 0
+        self.dram_bytes_per_node = dram_bytes_per_node
+        self.mem_latency_cycles = mem_latency_cycles
+        self.mem_bandwidth_lines_per_cycle = mem_bandwidth_lines_per_cycle
+
+        self.pus: List[ProcessingUnit] = []
+        cores_per_node = sockets_per_node * cores_per_socket
+        for node in range(n_nodes):
+            for sck in range(sockets_per_node):
+                numa = node * sockets_per_node + sck
+                for c in range(cores_per_socket):
+                    core = node * cores_per_node + sck * cores_per_socket + c
+                    cache_ids = []
+                    for spec in self.caches.values():
+                        per_socket = cores_per_socket // spec.shared_cores
+                        cid = numa * per_socket + c // spec.shared_cores
+                        cache_ids.append((spec.level, cid))
+                    for s in range(smt):
+                        self.pus.append(
+                            ProcessingUnit(
+                                gid=len(self.pus),
+                                node=node,
+                                numa=numa,
+                                core=core,
+                                smt=s,
+                                cache_instance=tuple(cache_ids),
+                            )
+                        )
+        self._members_cache: Dict[ScopeInstance, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def n_pus(self) -> int:
+        return len(self.pus)
+
+    @property
+    def n_sockets(self) -> int:
+        return self.n_nodes * self.sockets_per_node
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def pus_per_node(self) -> int:
+        return self.sockets_per_node * self.cores_per_socket * self.smt
+
+    def cache_instances(self, level: int) -> int:
+        """Number of cache instances machine-wide at ``level``."""
+        spec = self.caches[level]
+        return self.n_sockets * (self.cores_per_socket // spec.shared_cores)
+
+    # ---------------------------------------------------------------- scopes
+    def scope_rank(self, spec: ScopeSpec) -> int:
+        return scope_rank(spec, self.llc_level)
+
+    def widest(self, specs: Sequence[ScopeSpec]) -> ScopeSpec:
+        """The largest scope among ``specs`` (hls barrier semantics)."""
+        if not specs:
+            raise ValueError("empty scope list")
+        return max(specs, key=self.scope_rank)
+
+    def scope_instance(self, pu_gid: int, spec: ScopeSpec) -> ScopeInstance:
+        """The scope instance PU ``pu_gid`` belongs to for ``spec``."""
+        pu = self.pus[pu_gid]
+        kind = spec.kind
+        if kind is ScopeKind.NODE:
+            return ScopeInstance(spec, pu.node)
+        if kind is ScopeKind.NUMA:
+            level = spec.level if spec.level is not None else 1
+            if level > self.numa_levels:
+                raise ValueError(
+                    f"machine {self.name!r} has {self.numa_levels} NUMA level(s), "
+                    f"got level({level})"
+                )
+            return ScopeInstance(spec, pu.node if level == 2 else pu.numa)
+        if kind is ScopeKind.CACHE:
+            level = spec.level if spec.level is not None else self.llc_level
+            if level not in self.caches:
+                raise ValueError(f"machine {self.name!r} has no L{level} cache")
+            return ScopeInstance(spec, pu.cache_id(level))
+        if kind is ScopeKind.CORE:
+            return ScopeInstance(spec, pu.core)
+        raise AssertionError(kind)
+
+    def scope_members(self, instance: ScopeInstance) -> Tuple[int, ...]:
+        """All PU gids belonging to ``instance`` (cached)."""
+        got = self._members_cache.get(instance)
+        if got is None:
+            got = tuple(
+                pu.gid
+                for pu in self.pus
+                if self.scope_instance(pu.gid, instance.spec) == instance
+            )
+            self._members_cache[instance] = got
+        return got
+
+    def scope_instances(self, spec: ScopeSpec) -> List[ScopeInstance]:
+        """All distinct instances of ``spec`` on this machine."""
+        seen: Dict[ScopeInstance, None] = {}
+        for pu in self.pus:
+            seen.setdefault(self.scope_instance(pu.gid, spec), None)
+        return list(seen)
+
+    def same_scope(self, pu_a: int, pu_b: int, spec: ScopeSpec) -> bool:
+        return self.scope_instance(pu_a, spec) == self.scope_instance(pu_b, spec)
+
+    # ------------------------------------------------------------- rendering
+    def ascii_diagram(self, *, max_nodes: int = 2) -> str:
+        """Figure-1-style ASCII rendering of the topology and scopes."""
+        lines = [f"machine {self.name!r}: {self.n_nodes} node(s)"]
+        for node in range(min(self.n_nodes, max_nodes)):
+            lines.append(f"  node {node}  [scope node#{node}]")
+            for sck in range(self.sockets_per_node):
+                numa = node * self.sockets_per_node + sck
+                llc = ""
+                if self.llc_level:
+                    spec = self.caches[self.llc_level]
+                    first_core = numa * self.cores_per_socket
+                    cid = self.pus[
+                        first_core * self.smt
+                    ].cache_id(self.llc_level)
+                    llc = (
+                        f"  L{self.llc_level} {spec.size_bytes // (1 << 20)}MB"
+                        f" [scope cache#{cid}]"
+                    )
+                lines.append(f"    socket {sck}  [scope numa#{numa}]{llc}")
+                cores = [
+                    f"c{numa * self.cores_per_socket + c}"
+                    for c in range(self.cores_per_socket)
+                ]
+                lines.append("      cores: " + " ".join(cores))
+        if self.n_nodes > max_nodes:
+            lines.append(f"  ... {self.n_nodes - max_nodes} more node(s)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine({self.name!r}, nodes={self.n_nodes}, "
+            f"sockets/node={self.sockets_per_node}, "
+            f"cores/socket={self.cores_per_socket}, smt={self.smt})"
+        )
+
+
+def build_machine(
+    *,
+    n_nodes: int = 1,
+    sockets_per_node: int = 1,
+    cores_per_socket: int = 4,
+    smt: int = 1,
+    caches: Sequence[CacheSpec] = (),
+    dram_bytes_per_node: int = 16 << 30,
+    mem_latency_cycles: int = 200,
+    mem_bandwidth_lines_per_cycle: float = 0.5,
+    numa_levels: int = 1,
+    name: str = "machine",
+) -> Machine:
+    """Convenience constructor; see :class:`Machine` for parameters."""
+    return Machine(
+        n_nodes=n_nodes,
+        sockets_per_node=sockets_per_node,
+        cores_per_socket=cores_per_socket,
+        smt=smt,
+        caches=caches,
+        dram_bytes_per_node=dram_bytes_per_node,
+        mem_latency_cycles=mem_latency_cycles,
+        mem_bandwidth_lines_per_cycle=mem_bandwidth_lines_per_cycle,
+        numa_levels=numa_levels,
+        name=name,
+    )
+
+
+__all__ = ["CacheSpec", "ProcessingUnit", "Machine", "build_machine"]

@@ -1,0 +1,140 @@
+"""Simulated virtual address space and allocator.
+
+Each node of the simulated machine has one address space (the
+thread-based runtime shares it among all its MPI tasks; the
+process-based baseline gives every task its own).  The allocator is a
+simple bump allocator with alignment: addresses are never recycled,
+which keeps traces alias-free, while :meth:`AddressSpace.free` still
+performs live-bytes accounting so the memory-footprint experiments can
+report consumption over time.
+
+Addresses are plain integers; nothing is ever backed by real memory --
+only the *layout* matters to the cache simulator and the accountant.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live allocation in a simulated address space."""
+
+    addr: int
+    size: int
+    label: str
+    kind: str = "app"       # "app" | "runtime" | "hls" | "comm"
+    owner: Optional[int] = None  # task rank, or None for node-wide storage
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+    def pages(self) -> range:
+        """Page numbers covered by this allocation."""
+        first = self.addr // PAGE_SIZE
+        last = (self.end - 1) // PAGE_SIZE
+        return range(first, last + 1)
+
+
+class AddressSpace:
+    """Bump allocator over a simulated virtual address range.
+
+    Thread-safe: tasks of a node share one space in the thread-based
+    runtime, and even per-process spaces receive foreign allocations
+    (eager connection buffers posted by the sender's thread)."""
+
+    def __init__(self, *, base: int = 1 << 32, name: str = "as") -> None:
+        self.name = name
+        self._base = base
+        self._next = base
+        self._live: Dict[int, Allocation] = {}
+        self._freed_bytes = 0
+        self._live_bytes = 0
+        self._peak_live = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ alloc
+    def alloc(
+        self,
+        size: int,
+        *,
+        label: str = "",
+        kind: str = "app",
+        owner: Optional[int] = None,
+        align: int = 64,
+    ) -> Allocation:
+        """Allocate ``size`` bytes aligned to ``align`` and return the record."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if align <= 0 or align & (align - 1):
+            raise ValueError(f"alignment must be a positive power of two, got {align}")
+        with self._lock:
+            addr = (self._next + align - 1) & ~(align - 1)
+            self._next = addr + size
+            rec = Allocation(addr=addr, size=size, label=label, kind=kind, owner=owner)
+            self._live[addr] = rec
+            self._live_bytes += size
+            self._peak_live = max(self._peak_live, self._live_bytes)
+        return rec
+
+    def alloc_pages(self, n_pages: int, **kw) -> Allocation:
+        """Allocate ``n_pages`` whole pages, page-aligned."""
+        kw.setdefault("align", PAGE_SIZE)
+        return self.alloc(n_pages * PAGE_SIZE, **kw)
+
+    def free(self, alloc: Allocation) -> None:
+        """Release an allocation (accounting only; addresses are not reused)."""
+        with self._lock:
+            if alloc.addr not in self._live:
+                raise KeyError(f"double free or foreign allocation at {alloc.addr:#x}")
+            del self._live[alloc.addr]
+            self._freed_bytes += alloc.size
+            self._live_bytes -= alloc.size
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def live_bytes(self) -> int:
+        with self._lock:
+            return self._live_bytes
+
+    @property
+    def peak_live_bytes(self) -> int:
+        return self._peak_live
+
+    def live_allocations(self) -> List[Allocation]:
+        with self._lock:
+            return list(self._live.values())
+
+    def live_bytes_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for a in self.live_allocations():
+            out[a.kind] = out.get(a.kind, 0) + a.size
+        return out
+
+    def find(self, addr: int) -> Optional[Allocation]:
+        """The live allocation containing ``addr``, or None."""
+        for a in self.live_allocations():
+            if a.contains(addr):
+                return a
+        return None
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AddressSpace({self.name!r}, live={self.live_bytes}B "
+            f"in {len(self._live)} allocs)"
+        )
+
+
+__all__ = ["AddressSpace", "Allocation", "PAGE_SIZE"]

@@ -1,0 +1,264 @@
+"""Multi-core cache hierarchy with write-invalidate coherence.
+
+One :class:`CacheHierarchy` instantiates a
+:class:`~repro.memsim.cache.SetAssociativeCache` per cache instance of a
+:class:`~repro.machine.topology.Machine` (private L1/L2 per core, shared
+LLC per socket, ...) plus a per-level *line directory* mapping each
+cached line to the set of instances holding it.  The directory drives a
+MESI-style protocol reduced to what the paper's experiments exercise:
+
+* a **write** by one PU invalidates the line in every *other* cache
+  instance at every level (cores sharing the writer's LLC keep their LLC
+  copy, because it is the same instance -- exactly why the paper's
+  ``numa`` scope survives table updates while ``node`` scope does not);
+* a **read miss** that finds the line in another socket's cache is
+  served remotely (cache-to-cache transfer), cheaper than DRAM but far
+  costlier than a local LLC hit.
+
+Service levels: ``1..llc`` = own cache hit at that level,
+:data:`REMOTE_LEVEL` = another instance's cache, :data:`MEMORY_LEVEL` =
+DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.machine.topology import Machine
+from repro.memsim.cache import SetAssociativeCache
+
+MEMORY_LEVEL = 0
+REMOTE_LEVEL = -1
+
+
+@dataclass
+class AccessStats:
+    """Per-PU access profile produced by a simulation run.
+
+    ``hits[pu, level-1]`` counts own-hierarchy hits at ``level``;
+    ``remote``/``mem`` count remote-cache and DRAM services; ``writes``
+    counts write accesses (a subset of the total); ``invalidations_sent``
+    counts coherence invalidations triggered by this PU's writes.
+    """
+
+    n_pus: int
+    llc_level: int
+    hits: np.ndarray               # (n_pus, llc_level) int64
+    remote: np.ndarray             # (n_pus,) int64
+    mem: np.ndarray                # (n_pus,) int64
+    writes: np.ndarray             # (n_pus,) int64
+    invalidations_sent: np.ndarray  # (n_pus,) int64
+
+    def __sub__(self, other: "AccessStats") -> "AccessStats":
+        """Stats delta (e.g. one phase of a phased simulation)."""
+        return AccessStats(
+            n_pus=self.n_pus,
+            llc_level=self.llc_level,
+            hits=self.hits - other.hits,
+            remote=self.remote - other.remote,
+            mem=self.mem - other.mem,
+            writes=self.writes - other.writes,
+            invalidations_sent=self.invalidations_sent - other.invalidations_sent,
+        )
+
+    @property
+    def accesses(self) -> np.ndarray:
+        return self.hits.sum(axis=1) + self.remote + self.mem
+
+    def total_accesses(self) -> int:
+        return int(self.accesses.sum())
+
+    def miss_ratio(self, pu: int) -> float:
+        """Fraction of PU's accesses not served by its own hierarchy."""
+        total = int(self.accesses[pu])
+        if total == 0:
+            return 0.0
+        return float(self.remote[pu] + self.mem[pu]) / total
+
+
+class CacheHierarchy:
+    """Simulated caches + coherence for one machine (or one node of it).
+
+    ``prefetch_depth`` enables a next-line prefetcher: a demand miss
+    that goes to memory also fills the following ``prefetch_depth``
+    lines (not counted as accesses), converting subsequent misses of a
+    streaming sweep into hits -- the hardware feature that makes real
+    streaming kernels latency-tolerant.
+    """
+
+    def __init__(self, machine: Machine, *, prefetch_depth: int = 0) -> None:
+        if prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        self.prefetch_depth = prefetch_depth
+        self.prefetches = 0
+        self.machine = machine
+        self.levels: Tuple[int, ...] = tuple(sorted(machine.caches))
+        self.llc_level = machine.llc_level
+        line = {machine.caches[lvl].line_bytes for lvl in self.levels}
+        if len(line) != 1:
+            raise ValueError(f"heterogeneous line sizes unsupported: {line}")
+        self.line_bytes = line.pop() if line else 64
+        # caches[level][instance id] -> cache object
+        self.caches: Dict[int, List[SetAssociativeCache]] = {}
+        for lvl in self.levels:
+            n = machine.cache_instances(lvl)
+            self.caches[lvl] = [
+                SetAssociativeCache(machine.caches[lvl], name=f"L{lvl}#{i}")
+                for i in range(n)
+            ]
+        # directory[level][line] = set of instance ids holding the line
+        self._dir: Dict[int, Dict[int, Set[int]]] = {lvl: {} for lvl in self.levels}
+        # Per-PU path through the hierarchy, precomputed for the hot loop.
+        self._path: List[Tuple[Tuple[int, int, SetAssociativeCache], ...]] = []
+        for pu in machine.pus:
+            path = []
+            for lvl in self.levels:
+                cid = pu.cache_id(lvl)
+                path.append((lvl, cid, self.caches[lvl][cid]))
+            self._path.append(tuple(path))
+        n = machine.n_pus
+        nl = len(self.levels)
+        self._hits = np.zeros((n, nl), dtype=np.int64)
+        self._remote = np.zeros(n, dtype=np.int64)
+        self._mem = np.zeros(n, dtype=np.int64)
+        self._writes = np.zeros(n, dtype=np.int64)
+        self._inval_sent = np.zeros(n, dtype=np.int64)
+
+    # ------------------------------------------------------------------ core
+    def access(self, pu: int, addr: int, *, write: bool = False) -> int:
+        """Simulate one access to byte address ``addr``; returns the
+        service level (1..llc, REMOTE_LEVEL or MEMORY_LEVEL)."""
+        return self._access_line(pu, addr // self.line_bytes, write)
+
+    def access_run(
+        self, pu: int, lines: Iterable[int], *, write: bool = False
+    ) -> None:
+        """Simulate a run of accesses given as *line numbers* (hot path)."""
+        access = self._access_line
+        for ln in lines:
+            access(pu, ln, write)
+
+    def _access_line(self, pu: int, line: int, write: bool) -> int:
+        path = self._path[pu]
+        dirs = self._dir
+        service = MEMORY_LEVEL
+        missed: List[Tuple[int, int, SetAssociativeCache]] = []
+        for idx, (lvl, cid, cache) in enumerate(path):
+            evicted = cache.access(line)
+            if evicted is None:
+                service = lvl
+                self._hits[pu, idx] += 1
+                break
+            # miss: the access() call already filled the line
+            missed.append((lvl, cid, cache))
+            d = dirs[lvl]
+            holders = d.get(line)
+            if holders is None:
+                d[line] = {cid}
+            else:
+                holders.add(cid)
+            if evicted != -1:
+                ev_holders = d.get(evicted)
+                if ev_holders is not None:
+                    ev_holders.discard(cid)
+                    if not ev_holders:
+                        del d[evicted]
+        else:
+            # Missed everywhere in own hierarchy: remote cache or DRAM?
+            # Own instances were just filled above, so exclude them.
+            own_ids = {lvl: cid for lvl, cid, _ in path}
+            for lvl in reversed(self.levels):
+                holders = dirs[lvl].get(line)
+                if holders and any(c != own_ids[lvl] for c in holders):
+                    service = REMOTE_LEVEL
+                    break
+            if service == REMOTE_LEVEL:
+                self._remote[pu] += 1
+            else:
+                self._mem[pu] += 1
+                for d in range(1, self.prefetch_depth + 1):
+                    self._prefetch_line(pu, line + d)
+        if write:
+            self._writes[pu] += 1
+            own = {lvl: cid for lvl, cid, _ in path}
+            sent = 0
+            for lvl in self.levels:
+                holders = dirs[lvl].get(line)
+                if not holders:
+                    continue
+                mine = own[lvl]
+                others = [c for c in holders if c != mine]
+                for cid in others:
+                    self.caches[lvl][cid].invalidate(line)
+                    holders.discard(cid)
+                    sent += 1
+                if not holders:
+                    del dirs[lvl][line]
+            self._inval_sent[pu] += sent
+        return service
+
+    def _prefetch_line(self, pu: int, line: int) -> None:
+        """Fill ``line`` into the PU's hierarchy without access stats."""
+        dirs = self._dir
+        for lvl, cid, cache in self._path[pu]:
+            if cache.probe(line):
+                continue
+            evicted = cache.fill(line)
+            d = dirs[lvl]
+            holders = d.get(line)
+            if holders is None:
+                d[line] = {cid}
+            else:
+                holders.add(cid)
+            if evicted is not None:
+                ev = d.get(evicted)
+                if ev is not None:
+                    ev.discard(cid)
+                    if not ev:
+                        del d[evicted]
+        self.prefetches += 1
+
+    # ---------------------------------------------------------------- helpers
+    def touch_range(self, pu: int, addr: int, nbytes: int, *, write: bool = False) -> None:
+        """Access every line of ``[addr, addr+nbytes)`` once, in order."""
+        first = addr // self.line_bytes
+        last = (addr + nbytes - 1) // self.line_bytes
+        self.access_run(pu, range(first, last + 1), write=write)
+
+    def flush_all(self) -> None:
+        for lvl in self.levels:
+            for c in self.caches[lvl]:
+                c.flush()
+        for lvl in self.levels:
+            self._dir[lvl].clear()
+
+    def reset_stats(self) -> None:
+        self._hits[:] = 0
+        self._remote[:] = 0
+        self._mem[:] = 0
+        self._writes[:] = 0
+        self._inval_sent[:] = 0
+        for lvl in self.levels:
+            for c in self.caches[lvl]:
+                c.reset_stats()
+
+    def stats(self) -> AccessStats:
+        return AccessStats(
+            n_pus=self.machine.n_pus,
+            llc_level=self.llc_level,
+            hits=self._hits.copy(),
+            remote=self._remote.copy(),
+            mem=self._mem.copy(),
+            writes=self._writes.copy(),
+            invalidations_sent=self._inval_sent.copy(),
+        )
+
+    def directory_holders(self, level: int, addr: int) -> Set[int]:
+        """Instance ids holding the line of ``addr`` at ``level`` (for tests)."""
+        return set(self._dir[level].get(addr // self.line_bytes, set()))
+
+
+__all__ = ["CacheHierarchy", "AccessStats", "MEMORY_LEVEL", "REMOTE_LEVEL"]

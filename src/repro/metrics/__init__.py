@@ -1,0 +1,16 @@
+"""Measurement and reporting: memory sampling, efficiency, paper tables."""
+
+from repro.metrics.memory import MemorySampler, MemoryReport
+from repro.metrics.perf import parallel_efficiency, relative_performance
+from repro.metrics.report import Table, format_mb
+from repro.metrics.ascii_plot import line_chart
+
+__all__ = [
+    "MemorySampler",
+    "MemoryReport",
+    "parallel_efficiency",
+    "relative_performance",
+    "Table",
+    "format_mb",
+    "line_chart",
+]

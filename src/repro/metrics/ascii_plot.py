@@ -1,0 +1,85 @@
+"""Terminal line charts for experiment output (no plotting deps).
+
+Used by the Figure 3 harness to render the performance-vs-size curves
+the paper plots, directly in the terminal/log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot several named series over shared x values as ASCII art."""
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} has {len(ys)} points, x has {n}")
+    if n < 2:
+        raise ValueError("need at least two x points")
+    all_y = [v for ys in series.values() for v in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x), max(x)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(xv: float) -> int:
+        return round((xv - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(yv: float) -> int:
+        frac = (yv - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    for (name, ys), mark in zip(series.items(), _MARKS):
+        # connect consecutive points with linear interpolation
+        for (x0, y0), (x1, y1) in zip(zip(x, ys), list(zip(x, ys))[1:]):
+            c0, c1 = col(x0), col(x1)
+            for c in range(c0, c1 + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                yv = y0 + t * (y1 - y0)
+                r = row(yv)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for xv, yv in zip(x, ys):
+            grid[row(yv)][col(xv)] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, g in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = f"{y_max:8.2f} "
+        elif i == height - 1:
+            label = f"{y_min:8.2f} "
+        else:
+            label = " " * 9
+        lines.append(label + "|" + "".join(g))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_min:<10g}" + " " * max(0, width - 20) + f"{x_max:>10g}"
+    )
+    legend = "   ".join(
+        f"{mark}={name}" for (name, _), mark in zip(series.items(), _MARKS)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.append(" " * 10 + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+__all__ = ["line_chart"]

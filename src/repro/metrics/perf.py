@@ -1,0 +1,25 @@
+"""Performance metrics: weak-scaling efficiency and relative rates."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def parallel_efficiency(t_seq: float, t_par: float) -> float:
+    """Weak-scaling parallel efficiency t_seq / t_par (section V-A:
+    "the parallel efficiency is computed as t_par/t_seq" -- the paper's
+    formula is stated inverted but its numbers are clearly speedup over
+    ideal, i.e. t_seq/t_par for weak scaling, which is what we use)."""
+    if t_par <= 0:
+        raise ValueError("t_par must be positive")
+    return t_seq / t_par
+
+
+def relative_performance(work: float, cycles: float) -> float:
+    """Work units per cycle (the GFLOPS axis stand-in of Figure 3)."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return work / cycles
+
+
+__all__ = ["parallel_efficiency", "relative_performance"]

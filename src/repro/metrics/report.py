@@ -1,0 +1,48 @@
+"""Paper-style text tables."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_mb(nbytes: float) -> str:
+    return f"{nbytes / (1 << 20):.0f}"
+
+
+class Table:
+    """Minimal fixed-width table renderer for experiment output."""
+
+    def __init__(self, columns: Sequence[str], *, title: str = "") -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.columns))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(r) for r in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+__all__ = ["Table", "format_mb"]

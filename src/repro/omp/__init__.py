@@ -1,0 +1,35 @@
+"""Mini OpenMP layer for hybrid MPI + OpenMP experiments.
+
+The paper's introduction motivates HLS against the *hybrid* route:
+adding OpenMP inside MPI tasks shares memory but "the programmer needs
+to write and to manage two levels of parallelism", and the common
+master-only style serialises communication (Amdahl).  Section VI
+explains that HLS's implementation rests on an extended two-level TLS
+[22] able to distinguish per-MPI-task from per-OpenMP-thread storage.
+
+This package provides both pieces:
+
+* :mod:`~repro.omp.team` -- fork-join thread teams inside an MPI task
+  (parallel regions, barrier, single, master, critical, static for,
+  reductions);
+* :mod:`~repro.omp.tls` -- the two-level TLS: variables private per
+  task (shared by the task's threads) vs private per thread;
+* :mod:`~repro.omp.hybrid` -- launch helpers for hybrid programs
+  (tasks x threads pinned onto the machine) and the master-only
+  communication-time model used by the hybrid ablation bench.
+"""
+
+from repro.omp.team import Team, ThreadContext, omp_parallel
+from repro.omp.tls import TLSLevel, TwoLevelTLS
+from repro.omp.hybrid import HybridLayout, hybrid_layouts, master_only_time
+
+__all__ = [
+    "Team",
+    "ThreadContext",
+    "omp_parallel",
+    "TLSLevel",
+    "TwoLevelTLS",
+    "HybridLayout",
+    "hybrid_layouts",
+    "master_only_time",
+]

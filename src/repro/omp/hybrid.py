@@ -1,0 +1,100 @@
+"""Hybrid MPI + OpenMP layouts and the master-only cost model.
+
+The introduction's argument, made quantitative:
+
+* going hybrid reduces duplication by the thread count per task (to
+  minimise memory, "only one MPI task per node should be created"),
+* but with the common **master-only** style "portions of the code that
+  are not in OpenMP parallel regions are only executed by one core",
+  in particular MPI communication -- so the communication phase stops
+  scaling with threads (Amdahl) and "may prevent the code to fully
+  utilize the network bandwidth" (fewer concurrent message streams).
+
+HLS gets the hybrid memory saving at pure-MPI parallelism, which is the
+whole point.  :func:`hybrid_layouts` enumerates decompositions of a
+node; :func:`master_only_time` models a timestep of compute + halo
+communication under master-only hybridisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.machine.topology import Machine
+
+
+@dataclass(frozen=True)
+class HybridLayout:
+    """One tasks x threads decomposition of a node."""
+
+    tasks_per_node: int
+    threads_per_task: int
+
+    @property
+    def cores_used(self) -> int:
+        return self.tasks_per_node * self.threads_per_task
+
+    def duplicated_copies(self) -> int:
+        """Copies per node of a per-task-private global."""
+        return self.tasks_per_node
+
+    def memory_per_node(self, shared_bytes: int, per_core_bytes: int = 0) -> int:
+        """Footprint of a would-be-shared global plus per-core state."""
+        return (
+            self.duplicated_copies() * shared_bytes
+            + self.cores_used * per_core_bytes
+        )
+
+    def pinning(self, machine: Machine, node: int = 0) -> List[int]:
+        """PUs for this layout's tasks (task i on the first PU of its
+        block); used to place MPI tasks for HLS scope resolution."""
+        per_node = machine.pus_per_node
+        if self.cores_used > per_node:
+            raise ValueError(
+                f"layout needs {self.cores_used} PUs, node has {per_node}"
+            )
+        block = per_node // self.tasks_per_node
+        base = node * per_node
+        return [base + i * block for i in range(self.tasks_per_node)]
+
+
+def hybrid_layouts(cores_per_node: int) -> List[HybridLayout]:
+    """All full-occupancy tasks x threads splits of a node."""
+    out = []
+    t = 1
+    while t <= cores_per_node:
+        if cores_per_node % t == 0:
+            out.append(HybridLayout(tasks_per_node=t,
+                                    threads_per_task=cores_per_node // t))
+        t *= 2
+    return out
+
+
+def master_only_time(
+    layout: HybridLayout,
+    *,
+    compute_per_core: float,
+    comm_per_task_stream: float,
+    min_comm: float = 0.0,
+) -> float:
+    """Modeled timestep duration under master-only hybridisation.
+
+    ``compute_per_core`` is the perfectly-parallel work each core
+    performs (identical across layouts: weak scaling per node).
+    Communication runs **only on the master thread of each task**: its
+    duration shrinks with the number of *tasks* injecting messages
+    concurrently (network streams), never with threads:
+
+        t = compute_per_core + max(comm_per_task_stream x
+                                   (threads_per_task), min_comm)
+
+    i.e. the per-node communication volume is fixed; with fewer tasks,
+    each task's master must push ``threads_per_task`` cores' worth of
+    halo data serially.
+    """
+    comm = max(comm_per_task_stream * layout.threads_per_task, min_comm)
+    return compute_per_core + comm
+
+
+__all__ = ["HybridLayout", "hybrid_layouts", "master_only_time"]

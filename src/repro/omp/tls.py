@@ -1,0 +1,91 @@
+"""Two-level thread-local storage (the extended TLS of ref [22]).
+
+Thread-based MPIs privatize globals per MPI task using TLS; OpenMP
+implementations privatize ``threadprivate`` globals per thread using
+the same mechanism.  Run together, the two collide: "variables shared
+between OpenMP threads and private per MPI tasks cannot be
+distinguished from variables private per OpenMP thread and per MPI
+tasks".  Ref [22] (same authors) extends TLS to two privacy levels, and
+the paper states HLS "is based on this extended TLS technique".
+
+:class:`TwoLevelTLS` reproduces that: each variable is declared at one
+of two levels --
+
+* ``TLSLevel.TASK``: one copy per MPI task, shared by all the task's
+  OpenMP threads (an ordinary global of the original MPI program);
+* ``TLSLevel.THREAD``: one copy per (task, thread) (an OpenMP
+  ``threadprivate`` global).
+
+HLS then sits *above* this: an HLS variable is one whose copy is shared
+even across tasks, at the chosen machine scope.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+
+class TLSLevel(enum.Enum):
+    TASK = "task"        # private per MPI task, shared by its threads
+    THREAD = "thread"    # private per (MPI task, OpenMP thread)
+
+
+class TwoLevelTLS:
+    """Registry + storage for two-level privatized globals."""
+
+    def __init__(self) -> None:
+        self._decls: Dict[str, Tuple[TLSLevel, Callable[[], Any]]] = {}
+        self._store: Dict[Tuple[str, int, Optional[int]], Any] = {}
+        self._lock = threading.Lock()
+
+    def declare(
+        self,
+        name: str,
+        level: TLSLevel,
+        initializer: Callable[[], Any] = lambda: 0.0,
+    ) -> None:
+        with self._lock:
+            if name in self._decls:
+                raise KeyError(f"TLS variable {name!r} already declared")
+            self._decls[name] = (level, initializer)
+
+    def level(self, name: str) -> TLSLevel:
+        return self._decls[name][0]
+
+    def _key(self, name: str, task: int, thread: Optional[int]) -> Tuple:
+        level, _ = self._decls[name]
+        if level is TLSLevel.TASK:
+            return (name, task, None)
+        if thread is None:
+            raise ValueError(
+                f"{name!r} is thread-level TLS; access requires a thread id"
+            )
+        return (name, task, thread)
+
+    def get(self, name: str, *, task: int, thread: Optional[int] = None) -> Any:
+        """The copy visible to (task, thread); materialised on first use."""
+        key = self._key(name, task, thread)
+        with self._lock:
+            if key not in self._store:
+                _, init = self._decls[name]
+                self._store[key] = init()
+            return self._store[key]
+
+    def set(self, name: str, value: Any, *, task: int,
+            thread: Optional[int] = None) -> None:
+        key = self._key(name, task, thread)
+        with self._lock:
+            self._store[key] = value
+
+    def copies(self, name: str) -> int:
+        """How many materialised copies exist (the duplication HLS
+        removes at the next level up)."""
+        with self._lock:
+            return sum(1 for k in self._store if k[0] == name)
+
+
+__all__ = ["TLSLevel", "TwoLevelTLS"]

@@ -1,0 +1,57 @@
+"""MPI runtimes: the thread-based MPC analog and the process baseline.
+
+Quick use::
+
+    from repro.machine import core2_cluster
+    from repro.runtime import Runtime
+
+    def main(ctx):
+        token = ctx.comm_world.bcast("hello" if ctx.rank == 0 else None)
+        return ctx.comm_world.allreduce(ctx.rank)
+
+    rt = Runtime(core2_cluster(2), n_tasks=16)
+    results = rt.run(main)
+
+See :class:`~repro.runtime.runtime.Runtime` (MPC analog: MPI tasks are
+threads, same-node tasks share an address space) and
+:class:`~repro.runtime.process_mpi.ProcessRuntime` (Open MPI analog:
+private address spaces, sender-side copies, eager buffers).
+"""
+
+from repro.runtime.errors import (
+    AbortError,
+    CountMismatchError,
+    DeadlockError,
+    MigrationError,
+    MPIError,
+)
+from repro.runtime.message import ANY_SOURCE, ANY_TAG, Status
+from repro.runtime.ops import LAND, LOR, MAX, MIN, PROD, SUM
+from repro.runtime.request import Request
+from repro.runtime.communicator import Comm
+from repro.runtime.task import TaskContext
+from repro.runtime.runtime import CommStats, Runtime
+from repro.runtime.process_mpi import ProcessRuntime
+
+__all__ = [
+    "MPIError",
+    "AbortError",
+    "DeadlockError",
+    "CountMismatchError",
+    "MigrationError",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Status",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "Request",
+    "Comm",
+    "TaskContext",
+    "Runtime",
+    "CommStats",
+    "ProcessRuntime",
+]

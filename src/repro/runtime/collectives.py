@@ -1,0 +1,164 @@
+"""Shared-memory collective operations.
+
+All tasks of the simulated job live in one OS process, so collectives
+are implemented the way shared-memory MPI runtimes implement their
+on-node paths (paper section VI, refs [16][17]): a blackboard guarded by
+a condition variable and a generation-counting barrier.  Value semantics
+are preserved by cloning payloads on the read side (the process-based
+baseline clones; see :class:`~repro.runtime.runtime.Runtime` policy).
+
+The protocol for every data collective is *write -> barrier -> read ->
+barrier*: the second barrier guarantees the blackboard is not
+overwritten by a subsequent collective before every task has read it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runtime.errors import AbortError, CountMismatchError, DeadlockError
+from repro.runtime.ops import Op
+
+
+class CollectiveState:
+    """Blackboard + barrier shared by the tasks of one communicator."""
+
+    def __init__(
+        self,
+        size: int,
+        abort_flag: threading.Event,
+        *,
+        timeout: float = 30.0,
+        clone: Callable[[Any], Any] = lambda x: x,
+    ) -> None:
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self._abort = abort_flag
+        self._timeout = timeout
+        self._clone = clone
+        self._cond = threading.Condition()
+        self._count = 0
+        self._generation = 0
+        self.board: List[Any] = [None] * size
+        self.barriers = 0  # total barrier episodes completed
+
+    # ----------------------------------------------------------------- barrier
+    def barrier(self) -> None:
+        with self._cond:
+            gen = self._generation
+            self._count += 1
+            if self._count == self.size:
+                self._count = 0
+                self._generation += 1
+                self.barriers += 1
+                self._cond.notify_all()
+                return
+            deadline = self._timeout
+            while self._generation == gen:
+                if self._abort.is_set():
+                    raise AbortError("job aborted during barrier")
+                if not self._cond.wait(timeout=0.05):
+                    deadline -= 0.05
+                    if deadline <= 0:
+                        raise DeadlockError(
+                            f"barrier timed out with {self._count}/{self.size} "
+                            f"arrived -- collective mismatch?"
+                        )
+
+    # ------------------------------------------------------------ collectives
+    def bcast(self, rank: int, obj: Any, root: int) -> Any:
+        self._check_root(root)
+        if rank == root:
+            self.board[root] = obj
+        self.barrier()
+        val = obj if rank == root else self._clone(self.board[root])
+        self.barrier()
+        return val
+
+    def gather(self, rank: int, obj: Any, root: int) -> Optional[List[Any]]:
+        self._check_root(root)
+        self.board[rank] = obj
+        self.barrier()
+        out = [self._clone(self.board[r]) for r in range(self.size)] if rank == root else None
+        self.barrier()
+        return out
+
+    def allgather(self, rank: int, obj: Any) -> List[Any]:
+        self.board[rank] = obj
+        self.barrier()
+        out = [self._clone(self.board[r]) for r in range(self.size)]
+        self.barrier()
+        return out
+
+    def scatter(self, rank: int, objs: Optional[List[Any]], root: int) -> Any:
+        self._check_root(root)
+        if rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CountMismatchError(
+                    f"scatter at root needs a list of {self.size} items"
+                )
+            self.board[root] = objs
+        self.barrier()
+        item = self.board[root][rank]
+        val = item if rank == root else self._clone(item)
+        self.barrier()
+        return val
+
+    def reduce(self, rank: int, obj: Any, op: Op, root: int) -> Optional[Any]:
+        self._check_root(root)
+        self.board[rank] = obj
+        self.barrier()
+        out = None
+        if rank == root:
+            out = self._clone(self.board[0])
+            for r in range(1, self.size):
+                out = op(out, self.board[r])
+        self.barrier()
+        return out
+
+    def allreduce(self, rank: int, obj: Any, op: Op) -> Any:
+        self.board[rank] = obj
+        self.barrier()
+        out = self._clone(self.board[0])
+        for r in range(1, self.size):
+            out = op(out, self.board[r])
+        self.barrier()
+        return out
+
+    def scan(self, rank: int, obj: Any, op: Op) -> Any:
+        """Inclusive prefix reduction."""
+        self.board[rank] = obj
+        self.barrier()
+        out = self._clone(self.board[0])
+        for r in range(1, rank + 1):
+            out = op(out, self.board[r])
+        self.barrier()
+        return out
+
+    def alltoall(self, rank: int, objs: List[Any]) -> List[Any]:
+        if len(objs) != self.size:
+            raise CountMismatchError(
+                f"alltoall needs exactly {self.size} items, got {len(objs)}"
+            )
+        self.board[rank] = objs
+        self.barrier()
+        out = [self._clone(self.board[r][rank]) for r in range(self.size)]
+        self.barrier()
+        return out
+
+    def exchange(self, rank: int, obj: Any) -> List[Any]:
+        """allgather without cloning -- used internally (e.g. split)."""
+        self.board[rank] = obj
+        self.barrier()
+        out = list(self.board)
+        self.barrier()
+        return out
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} outside communicator of size {self.size}")
+
+
+__all__ = ["CollectiveState"]

@@ -1,0 +1,284 @@
+"""Communicators: the user-facing MPI surface.
+
+Each task holds its *own* :class:`Comm` instance per communicator (rank
+differs per task); instances of the same communicator share a context id
+(isolating message matching), a rank group, and one shared-memory
+:class:`~repro.runtime.collectives.CollectiveState`.
+
+API mirrors MPI 1.3 in pythonic dress: ``send/recv/isend/irecv/
+sendrecv/probe`` for point-to-point, the full set of collectives, and
+``dup``/``split`` for communicator management.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.runtime.errors import MPIError
+from repro.runtime.message import ANY_SOURCE, ANY_TAG, Status
+from repro.runtime.ops import Op, SUM
+from repro.runtime.payload import clone, deliver_into
+from repro.runtime.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import Runtime
+
+
+class Comm:
+    """One task's handle on a communicator."""
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        context: int,
+        group: Tuple[int, ...],
+        rank: int,
+    ) -> None:
+        self.runtime = runtime
+        self.context = context
+        self.group = group            # comm rank -> world rank
+        self.rank = rank              # this task's rank in the comm
+        self._world_to_comm: Dict[int, int] = {w: c for c, w in enumerate(group)}
+        self._coll = runtime.collective_state(context, len(group))
+        self._epoch = 0               # per-task count of collectives on this comm
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    @property
+    def world_rank(self) -> int:
+        return self.group[self.rank]
+
+    def to_world(self, comm_rank: int) -> int:
+        if comm_rank == ANY_SOURCE:
+            return ANY_SOURCE
+        if not 0 <= comm_rank < self.size:
+            raise MPIError(f"rank {comm_rank} outside communicator of size {self.size}")
+        return self.group[comm_rank]
+
+    def to_comm(self, world_rank: int) -> int:
+        return self._world_to_comm[world_rank]
+
+    # ------------------------------------------------------------------- p2p
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking buffered send (completes locally)."""
+        self.runtime.post_message(
+            self.world_rank, self.to_world(dest), tag, self.context, obj
+        )
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        buf: Any = None,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Blocking receive; with ``buf`` the payload is delivered into
+        the given numpy buffer (enabling the same-buffer copy elision)."""
+        env = self.runtime.mailbox(self.world_rank).receive(
+            self.to_world(source), tag, self.context
+        )
+        return self._deliver(env, buf, status)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)
+        return Request.completed()
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        buf: Any = None,
+    ) -> Request:
+        world_src = self.to_world(source)
+        mbox = self.runtime.mailbox(self.world_rank)
+
+        def _try() -> Optional[Tuple[Any, Status]]:
+            env = mbox.try_receive(world_src, tag, self.context)
+            if env is None:
+                return None
+            st = Status()
+            return self._deliver(env, buf, st), st
+
+        def _block() -> Tuple[Any, Status]:
+            env = mbox.receive(world_src, tag, self.context)
+            st = Status()
+            return self._deliver(env, buf, st), st
+
+        return Request(kind="recv", try_complete=_try, block_complete=_block)
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        *,
+        buf: Any = None,
+        status: Optional[Status] = None,
+    ) -> Any:
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag, buf=buf, status=status)
+
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Optional[Status]:
+        st = self.runtime.mailbox(self.world_rank).probe(
+            self.to_world(source), tag, self.context
+        )
+        if st is not None:
+            st.source = self.to_comm(st.source)
+        return st
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe: waits for a matching message without
+        consuming it."""
+        import time as _time
+
+        deadline = self.runtime.timeout
+        while True:
+            st = self.iprobe(source, tag)
+            if st is not None:
+                return st
+            if self.runtime.abort_flag.is_set():
+                raise MPIError("job aborted during probe")
+            _time.sleep(0.001)
+            deadline -= 0.001
+            if deadline <= 0:
+                from repro.runtime.errors import DeadlockError
+
+                raise DeadlockError(
+                    f"probe(source={source}, tag={tag}) timed out"
+                )
+
+    def abort(self, reason: str = "MPI_Abort") -> None:
+        """MPI_Abort analog: bring the whole job down."""
+        self.runtime.abort_flag.set()
+        from repro.runtime.errors import AbortError
+
+        raise AbortError(reason)
+
+    def _deliver(self, env, buf: Any, status: Optional[Status]) -> Any:
+        if status is not None:
+            status.source = self.to_comm(env.src)
+            status.tag = env.tag
+            status.nbytes = env.nbytes
+        if buf is not None:
+            result, copied = deliver_into(env.payload, buf)
+            self.runtime.note_delivery(env, copied=copied)
+            return result
+        self.runtime.note_delivery(env, copied=not env.owned)
+        if env.owned:
+            return env.payload
+        return clone(env.payload)
+
+    # ------------------------------------------------------------ collectives
+    def _collective(self, kind: str) -> None:
+        self._epoch += 1
+        tracer = self.runtime.tracer
+        if tracer is not None:
+            tracer.record_collective(
+                self.world_rank, self.context, kind, self.group, self._epoch
+            )
+
+    def barrier(self) -> None:
+        self._collective("barrier")
+        self._coll.barrier()
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        self._collective("bcast")
+        return self._coll.bcast(self.rank, obj, root)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        self._collective("gather")
+        return self._coll.gather(self.rank, obj, root)
+
+    def allgather(self, obj: Any) -> List[Any]:
+        self._collective("allgather")
+        return self._coll.allgather(self.rank, obj)
+
+    def scatter(self, objs: Optional[List[Any]] = None, root: int = 0) -> Any:
+        self._collective("scatter")
+        return self._coll.scatter(self.rank, objs, root)
+
+    def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Optional[Any]:
+        self._collective("reduce")
+        return self._coll.reduce(self.rank, obj, op, root)
+
+    def allreduce(self, obj: Any, op: Op = SUM) -> Any:
+        self._collective("allreduce")
+        return self._coll.allreduce(self.rank, obj, op)
+
+    def scan(self, obj: Any, op: Op = SUM) -> Any:
+        self._collective("scan")
+        return self._coll.scan(self.rank, obj, op)
+
+    def alltoall(self, objs: List[Any]) -> List[Any]:
+        self._collective("alltoall")
+        return self._coll.alltoall(self.rank, objs)
+
+    def reduce_scatter(self, objs: List[Any], op: Op = SUM) -> Any:
+        """Element-wise reduce of per-rank lists, then scatter: rank i
+        gets op-fold over ranks of objs[i]."""
+        if len(objs) != self.size:
+            from repro.runtime.errors import CountMismatchError
+
+            raise CountMismatchError(
+                f"reduce_scatter needs {self.size} items, got {len(objs)}"
+            )
+        self._collective("reduce_scatter")
+        columns = self._coll.alltoall(self.rank, objs)
+        out = columns[0]
+        for v in columns[1:]:
+            out = op(out, v)
+        return out
+
+    # -------------------------------------------------------------- management
+    def dup(self) -> "Comm":
+        """Duplicate the communicator (fresh context, same group)."""
+        self._collective("dup")
+        if self.rank == 0:
+            ctx = self.runtime.alloc_context()
+        else:
+            ctx = None
+        ctx = self._coll.bcast(self.rank, ctx, 0)
+        return Comm(self.runtime, ctx, self.group, self.rank)
+
+    def split(self, color: Optional[int], key: Optional[int] = None) -> Optional["Comm"]:
+        """Partition into sub-communicators by ``color`` (None = do not
+        participate); ranks within a color are ordered by ``(key, rank)``."""
+        self._collective("split")
+        triples = self._coll.exchange(self.rank, (color, key if key is not None else self.rank, self.rank))
+        colors = sorted({c for c, _, _ in triples if c is not None})
+        if self.rank == 0:
+            ctx_map = {c: self.runtime.alloc_context() for c in colors}
+        else:
+            ctx_map = None
+        ctx_map = self._coll.bcast(self.rank, ctx_map, 0)
+        if color is None:
+            return None
+        members = sorted(
+            ((k, r) for c, k, r in triples if c == color),
+        )
+        group = tuple(self.group[r] for _, r in members)
+        new_rank = [r for _, r in members].index(self.rank)
+        return Comm(self.runtime, ctx_map[color], group, new_rank)
+
+    def split_by_node(self) -> "Comm":
+        """Sub-communicator of the tasks sharing this task's node --
+        convenience for on-node algorithms."""
+        node = self.runtime.node_of(self.world_rank)
+        sub = self.split(color=node)
+        assert sub is not None
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Comm(ctx={self.context}, rank={self.rank}/{self.size})"
+
+
+__all__ = ["Comm", "ANY_SOURCE", "ANY_TAG"]

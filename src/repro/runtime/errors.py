@@ -1,0 +1,33 @@
+"""Runtime error types."""
+
+from __future__ import annotations
+
+
+class MPIError(RuntimeError):
+    """Base class for runtime failures."""
+
+
+class AbortError(MPIError):
+    """The job was aborted (another task raised, or MPI_Abort)."""
+
+
+class DeadlockError(MPIError):
+    """A blocking operation exceeded the runtime's deadlock timeout."""
+
+
+class CountMismatchError(MPIError):
+    """Collective called with inconsistent participation/arguments."""
+
+
+class MigrationError(MPIError):
+    """MPC_Move refused: HLS synchronization counters differ between the
+    source and destination scope instances (paper, section IV-A)."""
+
+
+__all__ = [
+    "MPIError",
+    "AbortError",
+    "DeadlockError",
+    "CountMismatchError",
+    "MigrationError",
+]

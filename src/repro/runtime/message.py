@@ -1,0 +1,118 @@
+"""Point-to-point message plumbing: envelopes and mailboxes.
+
+Each task owns one :class:`Mailbox`.  Senders post an
+:class:`Envelope`; receivers match on ``(communicator context, source,
+tag)`` with MPI wildcard semantics.  Matching scans pending messages in
+arrival order, which together with a per-sender sequence number gives
+the MPI non-overtaking guarantee: two messages from the same source on
+the same communicator and tag are received in the order they were sent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.runtime.errors import AbortError, DeadlockError
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Envelope:
+    """One in-flight message."""
+
+    src: int            # global rank in COMM_WORLD
+    dst: int
+    tag: int
+    context: int        # communicator context id
+    payload: Any        # already copied per backend policy at send time
+    nbytes: int
+    seq: int            # per-(src,dst) sequence for FIFO assertions
+    owned: bool = True  # payload is already a private copy of the data
+
+    def matches(self, source: int, tag: int, context: int) -> bool:
+        return (
+            self.context == context
+            and (source == ANY_SOURCE or self.src == source)
+            and (tag == ANY_TAG or self.tag == tag)
+        )
+
+
+@dataclass
+class Status:
+    """Receive status (MPI_Status analog)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes: int = 0
+
+
+class Mailbox:
+    """Pending-message queue for one task, with blocking matched receive."""
+
+    def __init__(self, owner: int, abort_flag: threading.Event,
+                 *, timeout: float = 30.0) -> None:
+        self.owner = owner
+        self._pending: List[Envelope] = []
+        self._cond = threading.Condition()
+        self._abort = abort_flag
+        self._timeout = timeout
+        self.posted = 0
+        self.delivered = 0
+
+    def post(self, env: Envelope) -> None:
+        with self._cond:
+            self._pending.append(env)
+            self.posted += 1
+            self._cond.notify_all()
+
+    def _take(self, source: int, tag: int, context: int) -> Optional[Envelope]:
+        for i, env in enumerate(self._pending):
+            if env.matches(source, tag, context):
+                self.delivered += 1
+                return self._pending.pop(i)
+        return None
+
+    def receive(self, source: int, tag: int, context: int) -> Envelope:
+        """Block until a matching message arrives."""
+        deadline = self._timeout
+        with self._cond:
+            while True:
+                if self._abort.is_set():
+                    raise AbortError(f"task {self.owner}: job aborted during recv")
+                env = self._take(source, tag, context)
+                if env is not None:
+                    return env
+                if not self._cond.wait(timeout=0.05):
+                    deadline -= 0.05
+                    if deadline <= 0:
+                        raise DeadlockError(
+                            f"task {self.owner}: recv(source={source}, tag={tag}) "
+                            f"timed out -- likely deadlock"
+                        )
+
+    def try_receive(self, source: int, tag: int, context: int) -> Optional[Envelope]:
+        """Non-blocking matched receive (None if nothing matches)."""
+        with self._cond:
+            if self._abort.is_set():
+                raise AbortError(f"task {self.owner}: job aborted")
+            return self._take(source, tag, context)
+
+    def probe(self, source: int, tag: int, context: int) -> Optional[Status]:
+        """Non-destructive match: status of the first matching message."""
+        with self._cond:
+            for env in self._pending:
+                if env.matches(source, tag, context):
+                    return Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
+        return None
+
+    def pending_count(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "Status", "Mailbox"]

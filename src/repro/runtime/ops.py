@@ -1,0 +1,49 @@
+"""Reduction operations (MPI_Op analogs).
+
+Each op is a two-argument callable working on scalars and numpy arrays.
+Reductions fold contributions in rank order, so results are
+deterministic across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+Op = Callable[[Any, Any], Any]
+
+
+def SUM(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def PROD(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def MAX(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def MIN(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def LAND(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_and(a, b)
+    return bool(a) and bool(b)
+
+
+def LOR(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return bool(a) or bool(b)
+
+
+__all__ = ["Op", "SUM", "PROD", "MAX", "MIN", "LAND", "LOR"]

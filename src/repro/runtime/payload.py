@@ -1,0 +1,75 @@
+"""Payload copy policy helpers.
+
+MPI has value semantics: a received object must be a private copy of
+what was sent.  The thread-based runtime (MPC analog) performs that copy
+*once*, at the receiver, for same-node messages -- and elides it
+entirely when source and destination buffers are the same memory, which
+is the Tachyon rank-0 image optimisation of section V-B3.  The
+process-based baseline always copies at the sender (serialisation into
+a comm buffer) and again at the receiver.
+"""
+
+from __future__ import annotations
+
+import copy
+import sys
+from typing import Any
+
+import numpy as np
+
+
+def clone(obj: Any) -> Any:
+    """A private copy of a message payload."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (bytes, str, int, float, complex, bool, type(None))):
+        return obj  # immutable
+    return copy.deepcopy(obj)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a payload."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    return sys.getsizeof(obj)
+
+
+def same_buffer(a: Any, b: Any) -> bool:
+    """True iff ``a`` and ``b`` are numpy views of the *identical* memory
+    region (same data pointer, dtype and shape)."""
+    if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+        return False
+    return (
+        a.__array_interface__["data"][0] == b.__array_interface__["data"][0]
+        and a.dtype == b.dtype
+        and a.shape == b.shape
+        and a.strides == b.strides
+    )
+
+
+def deliver_into(payload: Any, buf: Any) -> tuple[Any, bool]:
+    """Deliver ``payload`` into receive buffer ``buf``.
+
+    Returns ``(result, copied)``: ``copied`` is False when the copy was
+    elided because source and destination are the same memory.
+    """
+    if isinstance(buf, np.ndarray) and isinstance(payload, np.ndarray):
+        if same_buffer(buf, payload):
+            return buf, False
+        np.copyto(buf.reshape(payload.shape), payload)
+        return buf, True
+    raise TypeError(
+        f"recv buffer of type {type(buf).__name__} cannot receive "
+        f"payload of type {type(payload).__name__}"
+    )
+
+
+__all__ = ["clone", "payload_nbytes", "same_buffer", "deliver_into"]

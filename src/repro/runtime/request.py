@@ -1,0 +1,93 @@
+"""Non-blocking communication requests (MPI_Request analogs)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.runtime.message import Status
+
+
+class Request:
+    """Handle for a pending isend/irecv.
+
+    Send requests complete immediately (the runtime's sends are
+    buffered); receive requests poll the mailbox on :meth:`test` and
+    block on :meth:`wait`.
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        try_complete: Callable[[], Optional[Tuple[Any, Status]]],
+        block_complete: Callable[[], Tuple[Any, Status]],
+    ) -> None:
+        self.kind = kind
+        self._try = try_complete
+        self._block = block_complete
+        self._done = False
+        self._result: Any = None
+        self._status: Optional[Status] = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def test(self) -> bool:
+        """Try to complete without blocking; returns completion state."""
+        if self._done:
+            return True
+        got = self._try()
+        if got is not None:
+            self._result, self._status = got
+            self._done = True
+        return self._done
+
+    def wait(self, status: Optional[Status] = None) -> Any:
+        """Block until complete; returns the received object (for
+        receives) or None (for sends)."""
+        if not self._done:
+            self._result, self._status = self._block()
+            self._done = True
+        if status is not None and self._status is not None:
+            status.source = self._status.source
+            status.tag = self._status.tag
+            status.nbytes = self._status.nbytes
+        return self._result
+
+    @staticmethod
+    def waitall(requests: List["Request"]) -> List[Any]:
+        return [r.wait() for r in requests]
+
+    @staticmethod
+    def testall(requests: List["Request"]) -> bool:
+        """True iff every request can complete without blocking."""
+        return all(r.test() for r in requests)
+
+    @staticmethod
+    def waitany(requests: List["Request"]) -> Tuple[int, Any]:
+        """Block until some request completes; returns (index, result).
+        Polls in order, so completion is fair for already-ready
+        requests."""
+        if not requests:
+            raise ValueError("waitany needs at least one request")
+        while True:
+            for i, r in enumerate(requests):
+                if r.test():
+                    return i, r.wait()
+
+    @staticmethod
+    def completed(result: Any = None, status: Optional[Status] = None) -> "Request":
+        """An already-complete request (used for sends)."""
+        req = Request(
+            kind="send",
+            try_complete=lambda: (result, status or Status()),
+            block_complete=lambda: (result, status or Status()),
+        )
+        req._done = True
+        req._result = result
+        req._status = status or Status()
+        return req
+
+
+__all__ = ["Request"]

@@ -1,0 +1,313 @@
+"""The thread-based MPI runtime (MPC analog).
+
+"An interesting feature of MPC is that MPI tasks are executed inside
+user-level threads instead of processes [...] Thus, in MPC, MPI tasks on
+the same node share by default the same address space."  (paper,
+section IV)
+
+:class:`Runtime` reproduces exactly that: every MPI task is a Python
+thread; tasks pinned to PUs of the same simulated node share one
+simulated :class:`~repro.memsim.address_space.AddressSpace`.  Same-node
+messages carry a reference and are copied once at the receiver --
+or not at all when source and destination buffers coincide (the Tachyon
+optimisation).  Inter-node messages are copied at the sender, modelling
+NIC injection.
+
+The process-based baseline (:mod:`repro.runtime.process_mpi`) overrides
+the address-space and copy policies to behave like Open MPI.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.machine.topology import Machine, build_machine
+from repro.memsim.address_space import AddressSpace
+from repro.runtime.collectives import CollectiveState
+from repro.runtime.communicator import Comm
+from repro.runtime.errors import AbortError, MPIError
+from repro.runtime.message import Envelope, Mailbox
+from repro.runtime.payload import clone, payload_nbytes
+from repro.runtime.task import TaskContext
+
+
+@dataclass
+class CommStats:
+    """Message-traffic counters for one job."""
+
+    messages: int = 0
+    bytes: int = 0
+    intra_node: int = 0
+    inter_node: int = 0
+    send_copies: int = 0
+    recv_copies: int = 0
+    elided: int = 0
+    elided_bytes: int = 0
+
+
+class Runtime:
+    """Thread-based MPI runtime; see module docstring.
+
+    Parameters
+    ----------
+    machine:
+        Simulated machine; defaults to a flat single-node machine with
+        one core per task.
+    n_tasks:
+        Number of MPI tasks (default: one per PU).
+    timeout:
+        Deadlock watchdog in seconds for blocking operations.
+    pinning:
+        Optional explicit task -> PU map (default round-robin).
+    """
+
+    backend_name = "mpc-thread"
+    #: copy message payloads at the sender even for same-node transfers
+    copy_at_send_intra_node = False
+    #: do tasks on the same node share an address space?
+    shared_node_address_space = True
+
+    # Comm-buffer memory model (bytes), calibrated against Table II's
+    # "MPC consumes between 100 and 300MB less memory than Open MPI and
+    # this gap grows with the number of cores":
+    COMM_BASE = 24 << 20
+    COMM_PER_LOCAL_TASK = 96 << 10
+    COMM_PER_PAIR = 4 << 10      # per (local task, total rank) pair
+    #: eager buffers allocated lazily when two ranks first communicate
+    #: (0 for MPC: same-node transfers go through the shared heap and
+    #: the pool above covers the rest)
+    EAGER_PER_CONNECTION = 0
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        n_tasks: Optional[int] = None,
+        *,
+        timeout: float = 30.0,
+        pinning: Optional[Sequence[int]] = None,
+    ) -> None:
+        if machine is None:
+            if n_tasks is None:
+                raise MPIError("provide a machine, n_tasks, or both")
+            machine = build_machine(
+                n_nodes=1, sockets_per_node=1, cores_per_socket=n_tasks,
+                caches=(), name="flat",
+            )
+        self.machine = machine
+        self.n_tasks = n_tasks if n_tasks is not None else machine.n_pus
+        if self.n_tasks < 1:
+            raise MPIError("need at least one task")
+        if pinning is not None:
+            if len(pinning) != self.n_tasks:
+                raise MPIError("pinning must list one PU per task")
+            if any(not 0 <= p < machine.n_pus for p in pinning):
+                raise MPIError("pinning references unknown PU")
+            self._pin = list(pinning)
+        else:
+            self._pin = [i % machine.n_pus for i in range(self.n_tasks)]
+        self.timeout = timeout
+        self.abort_flag = threading.Event()
+        self._mailboxes = [
+            Mailbox(r, self.abort_flag, timeout=timeout) for r in range(self.n_tasks)
+        ]
+        self._seq: Dict[tuple, int] = {}
+        self._seq_lock = threading.Lock()
+        self._contexts = 0
+        self._ctx_lock = threading.Lock()
+        self._coll_states: Dict[int, CollectiveState] = {}
+        self._coll_lock = threading.Lock()
+        self._world_context = self.alloc_context()
+        self.stats = CommStats()
+        self._stats_lock = threading.Lock()
+        self.tracer: Optional[Any] = None
+        self.migration_checks: List[Callable[[TaskContext, int], None]] = []
+        self.post_move_hooks: List[Callable[[int, int], None]] = []
+        self._spaces: Dict[int, AddressSpace] = {}
+        self._alloc_runtime_memory()
+        self.contexts: List[Optional[TaskContext]] = [None] * self.n_tasks
+
+    # ------------------------------------------------------------- placement
+    def task_pu(self, rank: int) -> int:
+        return self._pin[rank]
+
+    def set_task_pu(self, rank: int, pu: int) -> None:
+        self._pin[rank] = pu
+        for hook in self.post_move_hooks:
+            hook(rank, pu)
+
+    def node_of(self, rank: int) -> int:
+        return self.machine.pus[self._pin[rank]].node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def shares_address_space(self, a: int, b: int) -> bool:
+        return self.shared_node_address_space and self.same_node(a, b)
+
+    def tasks_on_node(self, node: int) -> List[int]:
+        return [r for r in range(self.n_tasks) if self.node_of(r) == node]
+
+    # ---------------------------------------------------------------- memory
+    def node_space(self, node: int) -> AddressSpace:
+        """The shared address space of a node (thread backend)."""
+        sp = self._spaces.get(node)
+        if sp is None:
+            sp = AddressSpace(base=(node + 1) << 40, name=f"node{node}")
+            self._spaces[node] = sp
+        return sp
+
+    def space_for(self, rank: int) -> AddressSpace:
+        return self.node_space(self.node_of(rank))
+
+    def all_spaces(self) -> Dict[int, AddressSpace]:
+        return dict(self._spaces)
+
+    def node_live_bytes(self, node: int) -> int:
+        """Live simulated bytes on a node (application + runtime)."""
+        return self.node_space(node).live_bytes
+
+    def comm_buffer_bytes(self, local_tasks: int, total_tasks: int) -> int:
+        return (
+            self.COMM_BASE
+            + local_tasks * self.COMM_PER_LOCAL_TASK
+            + local_tasks * total_tasks * self.COMM_PER_PAIR
+        )
+
+    def _alloc_runtime_memory(self) -> None:
+        nodes = {self.node_of(r) for r in range(self.n_tasks)}
+        for node in nodes:
+            local = len(self.tasks_on_node(node))
+            self.node_space(node).alloc(
+                self.comm_buffer_bytes(local, self.n_tasks),
+                label=f"{self.backend_name}-comm-buffers",
+                kind="runtime",
+            )
+
+    # ------------------------------------------------------------ contexts
+    def alloc_context(self) -> int:
+        with self._ctx_lock:
+            self._contexts += 1
+            return self._contexts
+
+    def collective_state(self, context: int, size: int) -> CollectiveState:
+        with self._coll_lock:
+            st = self._coll_states.get(context)
+            if st is None:
+                st = CollectiveState(
+                    size, self.abort_flag, timeout=self.timeout, clone=clone
+                )
+                self._coll_states[context] = st
+            elif st.size != size:
+                raise MPIError(
+                    f"context {context} already bound to size {st.size}"
+                )
+            return st
+
+    def make_world_comm(self, rank: int) -> Comm:
+        return Comm(self, self._world_context, tuple(range(self.n_tasks)), rank)
+
+    # ----------------------------------------------------------------- p2p
+    def mailbox(self, world_rank: int) -> Mailbox:
+        return self._mailboxes[world_rank]
+
+    def post_message(
+        self, src: int, dst: int, tag: int, context: int, obj: Any
+    ) -> None:
+        if not 0 <= dst < self.n_tasks:
+            raise MPIError(f"send to unknown rank {dst}")
+        intra = self.same_node(src, dst)
+        copy_now = self.copy_at_send_intra_node or not intra
+        payload = clone(obj) if copy_now else obj
+        nbytes = payload_nbytes(obj)
+        with self._seq_lock:
+            seq = self._seq.get((src, dst), 0)
+            self._seq[(src, dst)] = seq + 1
+        if seq == 0 and self.EAGER_PER_CONNECTION:
+            # first message on this (src, dst) connection: eager buffers
+            # appear at both endpoints (Open MPI's lazy connection setup;
+            # this is why all-to-all applications like Gadget-2 blow up
+            # the process-based runtime's memory in Table III)
+            self.space_for(src).alloc(
+                self.EAGER_PER_CONNECTION,
+                label=f"eager-send({src}->{dst})", kind="runtime", owner=src,
+            )
+            self.space_for(dst).alloc(
+                self.EAGER_PER_CONNECTION,
+                label=f"eager-recv({src}->{dst})", kind="runtime", owner=dst,
+            )
+        env = Envelope(
+            src=src, dst=dst, tag=tag, context=context,
+            payload=payload, nbytes=nbytes, seq=seq, owned=copy_now,
+        )
+        with self._stats_lock:
+            self.stats.messages += 1
+            self.stats.bytes += nbytes
+            if intra:
+                self.stats.intra_node += 1
+            else:
+                self.stats.inter_node += 1
+            if copy_now:
+                self.stats.send_copies += 1
+        if self.tracer is not None:
+            self.tracer.record_send(src, dst, tag, context, seq)
+        self._mailboxes[dst].post(env)
+
+    def note_delivery(self, env: Envelope, *, copied: bool) -> None:
+        with self._stats_lock:
+            if copied:
+                self.stats.recv_copies += 1
+            elif not env.owned:
+                self.stats.elided += 1
+                self.stats.elided_bytes += env.nbytes
+        if self.tracer is not None:
+            self.tracer.record_recv(env.dst, env.src, env.tag, env.context, env.seq)
+
+    # ------------------------------------------------------------------ run
+    def run(self, main: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        """Launch ``main(ctx, *args, **kwargs)`` on every task; returns
+        the per-rank results.  Any task's exception aborts the job and
+        is re-raised."""
+        results: List[Any] = [None] * self.n_tasks
+        errors: List[tuple] = []
+        err_lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            ctx = TaskContext(self, rank)
+            self.contexts[rank] = ctx
+            if self.tracer is not None:
+                self.tracer.register_task(rank)
+            try:
+                results[rank] = main(ctx, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - must propagate
+                with err_lock:
+                    errors.append((rank, exc))
+                self.abort_flag.set()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"mpi-task-{r}")
+            for r in range(self.n_tasks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            errors.sort(key=lambda e: e[0])
+            rank, exc = errors[0]
+            if isinstance(exc, AbortError) and len(errors) > 1:
+                # prefer the root cause over secondary aborts
+                for r, e in errors:
+                    if not isinstance(e, AbortError):
+                        rank, exc = r, e
+                        break
+            try:
+                wrapped = type(exc)(f"[rank {rank}] {exc}")
+            except Exception:
+                wrapped = MPIError(f"[rank {rank}] {exc!r}")
+            raise wrapped from exc
+        return results
+
+
+__all__ = ["Runtime", "CommStats"]

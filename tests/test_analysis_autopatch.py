@@ -1,0 +1,121 @@
+"""Tests for automatic pragma insertion + the full auto-HLS pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Eligibility,
+    Tracer,
+    auto_patch_source,
+    detect,
+)
+from repro.hls import HLSProgram, compile_module_source
+from repro.machine import small_test_machine
+from repro.runtime import Runtime
+
+SOURCE = '''
+import numpy as np
+
+N = 16
+table = np.zeros(N)
+counter = np.zeros(1)
+
+def main(ctx):
+    table[:] = np.arange(N, dtype=float)
+    counter[0] = float(ctx.rank)
+    ctx.comm_world.barrier()
+    return float(table.sum()) + 0 * float(counter[0])
+'''
+
+
+def traced_reports():
+    """Run the (unpatched) program under the tracer and detect."""
+    n = 4
+    rt = Runtime(small_test_machine(), n_tasks=n, timeout=10.0)
+    tracer = Tracer(n)
+    rt.tracer = tracer
+
+    def main(ctx):
+        c = ctx.comm_world
+        tracer.write(ctx.rank, "table", ("arange", 16))
+        tracer.write(ctx.rank, "counter", ctx.rank)
+        c.barrier()
+        tracer.read(ctx.rank, "table", ("arange", 16))
+        tracer.read(ctx.rank, "counter", ctx.rank)
+
+    rt.run(main)
+    return detect(tracer.trace)
+
+
+class TestPatchInsertion:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return traced_reports()
+
+    def test_detection_splits_variables(self, reports):
+        assert reports["table"].status in (
+            Eligibility.ELIGIBLE, Eligibility.ELIGIBLE_WITH_SINGLES
+        )
+        assert reports["counter"].status is Eligibility.INELIGIBLE
+
+    def test_scope_pragma_after_definition(self, reports):
+        patch = auto_patch_source(SOURCE, reports)
+        lines = patch.source.splitlines()
+        def_idx = next(i for i, l in enumerate(lines) if l.startswith("table ="))
+        assert lines[def_idx + 1] == "#pragma hls node(table)"
+
+    def test_ineligible_variable_untouched(self, reports):
+        patch = auto_patch_source(SOURCE, reports)
+        assert "hls node(counter)" not in patch.source
+        assert "counter" in patch.skipped_variables
+
+    def test_single_inserted_before_write(self, reports):
+        patch = auto_patch_source(SOURCE, reports)
+        lines = patch.source.splitlines()
+        write_idx = next(
+            i for i, l in enumerate(lines) if l.strip().startswith("table[:]")
+        )
+        if reports["table"].status is Eligibility.ELIGIBLE_WITH_SINGLES:
+            assert lines[write_idx - 1].strip() == "#pragma hls single(table)"
+
+    def test_indentation_matches(self, reports):
+        patch = auto_patch_source(SOURCE, reports)
+        for _ln, pragma in patch.inserted:
+            if "single" in pragma:
+                assert pragma.startswith("    #pragma")
+
+    def test_custom_scope(self, reports):
+        patch = auto_patch_source(SOURCE, reports, scope="numa")
+        assert "#pragma hls numa(table)" in patch.source
+
+    def test_missing_definition_skipped(self, reports):
+        src = "def main(ctx):\n    return 0\n"
+        patch = auto_patch_source(src, {"table": reports["table"]})
+        assert "table" in patch.skipped_variables
+
+
+class TestEndToEndAutoHLS:
+    def test_patched_program_shares_memory_and_preserves_results(self):
+        """The full future-work pipeline: trace -> detect -> patch ->
+        recompile -> verify sharing happened and output is unchanged."""
+        reports = traced_reports()
+        patch = auto_patch_source(SOURCE, reports)
+        assert "table" in patch.patched_variables
+
+        # original (no pragmas recognised -> everything private)
+        rt0 = Runtime(small_test_machine(), n_tasks=4, timeout=10.0)
+        prog0 = HLSProgram(rt0, enabled=False)
+        ns0 = compile_module_source(patch.source, prog0)
+        base = rt0.run(ns0["main"])
+
+        # patched + HLS enabled
+        rt1 = Runtime(small_test_machine(), n_tasks=4, timeout=10.0)
+        prog1 = HLSProgram(rt1)
+        ns1 = compile_module_source(patch.source, prog1)
+        shared = rt1.run(ns1["main"])
+
+        assert shared == base                       # semantics preserved
+        assert prog1.registry["table"].is_hls
+        # one shared image on the node vs four private ones
+        assert prog1.storage.hls_images_bytes() > 0
+        assert prog0.storage.hls_images_bytes() == 0

@@ -1,0 +1,163 @@
+"""Schedule-explorer tests: the checker agrees with brute force.
+
+The paper justifies conditions 1-2 with a schedule argument; here we
+execute it: eligible variables survive every sampled legal schedule,
+and the explorer finds a bad schedule for violating examples.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    HappensBefore,
+    Trace,
+    check_variable,
+    explore,
+    random_linearization,
+    replay,
+)
+
+
+class TestLinearization:
+    def test_respects_program_order(self):
+        tr = Trace(2)
+        a = tr.write(0, "x", 1)
+        b = tr.read(0, "x", 1)
+        hb = HappensBefore(tr)
+        import random
+        order = random_linearization(hb, random.Random(0))
+        assert order.index(a) < order.index(b)
+
+    def test_respects_barriers(self):
+        tr = Trace(2)
+        w = tr.write(0, "x", 1)
+        tr.barrier_all(epoch=1)
+        r = tr.read(1, "x", 1)
+        hb = HappensBefore(tr)
+        import random
+        for seed in range(10):
+            order = random_linearization(hb, random.Random(seed))
+            assert order.index(w) < order.index(r)
+
+    def test_covers_all_events(self):
+        tr = Trace(3)
+        for t in range(3):
+            tr.write(t, "x", 1)
+            tr.read(t, "x", 1)
+        hb = HappensBefore(tr)
+        import random
+        order = random_linearization(hb, random.Random(1))
+        assert len(order) == 6
+
+
+class TestReplay:
+    def test_replay_sees_last_write(self):
+        tr = Trace(1)
+        tr.write(0, "x", 1)
+        tr.write(0, "x", 2)
+        r = tr.read(0, "x", 2)
+        hb = HappensBefore(tr)
+        import random
+        order = random_linearization(hb, random.Random(0))
+        seen = replay(order, "x")
+        assert seen == [(r, 2)]
+
+    def test_initial_value(self):
+        tr = Trace(1)
+        r = tr.read(0, "x", 7)
+        hb = HappensBefore(tr)
+        import random
+        order = random_linearization(hb, random.Random(0))
+        assert replay(order, "x", initial_value=7) == [(r, 7)]
+
+
+class TestExplorerVsChecker:
+    def test_eligible_constant_table_never_violates(self):
+        tr = Trace(4)
+        for t in range(4):
+            tr.write(t, "tbl", "v")
+        tr.barrier_all(epoch=1)
+        for t in range(4):
+            tr.read(t, "tbl", "v")
+        assert explore(tr, "tbl", samples=100) == []
+
+    def test_unsynchronised_update_found(self):
+        """Round-2 writes parallel with round-1 reads: the explorer must
+        find a schedule where a round-1 read sees the round-2 value."""
+        tr = Trace(2)
+        for t in range(2):
+            tr.write(t, "x", 1)
+        for t in range(2):
+            tr.read(t, "x", 1)
+        for t in range(2):
+            tr.write(t, "x", 2)
+        violations = explore(tr, "x", samples=200)
+        assert violations
+        hb = HappensBefore(tr)
+        assert not check_variable(hb, tr, "x").eligible_without_sync
+
+    def test_single_protected_update_clean(self):
+        """The III-C fix: barrier-bracketed writes -> no violations."""
+        tr = Trace(2)
+        epoch = 0
+        for round_ in range(2):
+            epoch += 1
+            tr.barrier_all(epoch=epoch)
+            tr.write(0, "x", round_)      # 'single': one writer
+            epoch += 1
+            tr.barrier_all(epoch=epoch)
+            for t in range(2):
+                tr.read(t, "x", round_)
+        assert explore(tr, "x", samples=200) == []
+        hb = HappensBefore(tr)
+        assert check_variable(hb, tr, "x").eligible_without_sync
+
+
+# --------------------------------------------------------------- property
+
+@st.composite
+def spmd_traces(draw):
+    """Random SPMD programs: rounds of (maybe-synchronised) writes of a
+    common value followed by reads of the last written value."""
+    n = draw(st.integers(2, 3))
+    rounds = draw(st.integers(1, 3))
+    tr = Trace(n)
+    epoch = 0
+    value = 0
+    last = None
+    for _ in range(rounds):
+        write = draw(st.booleans())
+        barrier_before = draw(st.booleans())
+        barrier_after = draw(st.booleans())
+        if write:
+            value += 1
+            if barrier_before:
+                epoch += 1
+                tr.barrier_all(epoch=epoch)
+            for t in range(n):
+                tr.write(t, "g", value)
+            if barrier_after:
+                epoch += 1
+                tr.barrier_all(epoch=epoch)
+            last = value
+        if last is not None:
+            for t in range(n):
+                tr.read(t, "g", last)
+    return tr
+
+
+@settings(max_examples=30, deadline=None)
+@given(spmd_traces())
+def test_property_checker_sound_vs_explorer(tr):
+    """If the checker declares a variable eligible without sync, no
+    sampled schedule may produce a wrong read (soundness of the
+    conditions against their own schedule semantics)."""
+    if not tr.reads("g"):
+        return
+    hb = HappensBefore(tr)
+    coh = check_variable(hb, tr, "g")
+    violations = explore(tr, "g", samples=40)
+    if coh.eligible_without_sync:
+        assert violations == []
+    if violations:
+        assert not coh.eligible_without_sync

@@ -1,0 +1,108 @@
+"""Tests for the cache-study apps (mesh update, matmul)."""
+
+import pytest
+
+from repro.apps.matmul import MatmulConfig, run_matmul
+from repro.apps.mesh_update import SIZES, MeshUpdateConfig, run_mesh_update
+
+FAST_MESH = dict(read_cap=1024, steps=1, warmup_steps=1)
+
+
+class TestMeshUpdateConfig:
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            MeshUpdateConfig(size="gigantic")
+
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            MeshUpdateConfig(variant="socket")
+
+    def test_cells_mapping(self):
+        assert MeshUpdateConfig(size="small").cells == SIZES["small"]
+
+    def test_table_bytes_scaled(self):
+        assert MeshUpdateConfig(machine_scale=64).table_bytes == (8 << 20) // 64
+
+
+class TestMeshUpdateShapes:
+    """Table I shape assertions (sampled small configs for speed)."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for variant in ("none", "node", "numa"):
+            for update in (False, True):
+                cfg = MeshUpdateConfig(
+                    size="small", update=update, variant=variant, **FAST_MESH
+                )
+                out[(variant, update)] = run_mesh_update(cfg)
+        return out
+
+    def test_hls_beats_no_hls(self, results):
+        for update in (False, True):
+            none = results[("none", update)].efficiency
+            for v in ("node", "numa"):
+                assert results[(v, update)].efficiency > none + 0.2
+
+    def test_numa_at_least_node_under_update(self, results):
+        assert (
+            results[("numa", True)].efficiency
+            >= results[("node", True)].efficiency - 0.02
+        )
+
+    def test_update_node_pays_invalidations(self, results):
+        assert results[("node", True)].invalidations > 0
+        assert results[("numa", True)].invalidations < results[
+            ("node", True)
+        ].invalidations
+
+    def test_no_hls_misses_more(self, results):
+        assert (
+            results[("none", False)].table_miss_ratio
+            > results[("node", False)].table_miss_ratio
+        )
+
+    def test_efficiency_bounded(self, results):
+        for r in results.values():
+            assert 0.0 < r.efficiency <= 1.2
+
+
+class TestMatmul:
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            MatmulConfig(variant="hybrid")
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            MatmulConfig(n=0)
+
+    def test_seq_uses_one_task(self):
+        r = run_matmul(MatmulConfig(n=8, variant="seq", tasks=8))
+        assert r.perf > 0
+
+    def test_small_sizes_all_equal(self):
+        """Everything fits in cache: variants coincide (Figure 3 left edge)."""
+        perfs = {
+            v: run_matmul(MatmulConfig(n=8, variant=v, tasks=8)).perf
+            for v in ("seq", "none", "node", "numa")
+        }
+        base = perfs["seq"]
+        for v, p in perfs.items():
+            assert p == pytest.approx(base, rel=0.15), v
+
+    def test_no_hls_falls_off_cache_first(self):
+        """At a size where 8 triples of matrices overflow the LLC but
+        the shared-B working set does not, HLS must win (Figure 3)."""
+        none = run_matmul(MatmulConfig(n=48, variant="none")).perf
+        node = run_matmul(MatmulConfig(n=48, variant="node")).perf
+        assert node > none * 1.2
+
+    def test_update_numa_beats_node_when_resident(self):
+        numa = run_matmul(MatmulConfig(n=24, variant="numa", update=True)).perf
+        node = run_matmul(MatmulConfig(n=24, variant="node", update=True)).perf
+        assert numa > node
+
+    def test_flops_accounting(self):
+        cfg = MatmulConfig(n=8, variant="seq", steps=3, tasks=8)
+        r = run_matmul(cfg)
+        assert r.flops == 2 * 8 ** 3 * 3

@@ -1,0 +1,143 @@
+"""Tests for the memory-study apps (EulerMHD, Gadget, Tachyon)."""
+
+import pytest
+
+from repro.apps.eulermhd import (
+    EOS_TABLE_BYTES,
+    EulerMHDConfig,
+    run_eulermhd,
+)
+from repro.apps.gadget import EWALD_TABLE_BYTES, GadgetConfig, run_gadget
+from repro.apps.tachyon import (
+    IMAGE_BYTES,
+    SCENE_BYTES,
+    TachyonConfig,
+    run_tachyon,
+)
+
+N = 2  # nodes (16 tasks) -- small but exercises inter-node paths
+
+
+def euler(runtime="mpc", hls=False, **kw):
+    return run_eulermhd(EulerMHDConfig(n_nodes=N, runtime=runtime, hls=hls, **kw))
+
+
+class TestEulerMHD:
+    @pytest.fixture(scope="class")
+    def trio(self):
+        return {
+            "hls": euler("mpc", True),
+            "mpc": euler("mpc", False),
+            "openmpi": euler("openmpi", False),
+        }
+
+    def test_memory_ordering(self, trio):
+        assert trio["hls"].mem.avg_bytes < trio["mpc"].mem.avg_bytes
+        assert trio["mpc"].mem.avg_bytes < trio["openmpi"].mem.avg_bytes
+
+    def test_hls_saving_close_to_formula(self, trio):
+        """Saving ~ 7 x 128MB per 8-core node (Table II arithmetic)."""
+        saved = trio["mpc"].mem.avg_bytes - trio["hls"].mem.avg_bytes
+        assert saved == pytest.approx(7 * EOS_TABLE_BYTES, rel=0.01)
+
+    def test_results_identical_across_variants(self, trio):
+        """HLS must not change the computation (semantics preserved)."""
+        assert trio["hls"].checksum == pytest.approx(trio["mpc"].checksum)
+        assert trio["hls"].checksum == pytest.approx(trio["openmpi"].checksum)
+
+    def test_time_model_strong_scaling(self):
+        t16 = euler("mpc", True).modeled_time_s
+        t32 = run_eulermhd(
+            EulerMHDConfig(n_nodes=4, runtime="mpc", hls=True)
+        ).modeled_time_s
+        assert t32 < t16
+        assert t16 / t32 == pytest.approx(2.0, rel=0.1)
+
+    def test_hls_time_overhead_negligible(self, trio):
+        assert trio["hls"].modeled_time_s == pytest.approx(
+            trio["mpc"].modeled_time_s
+        )
+
+    def test_openmpi_hls_rejected(self):
+        with pytest.raises(ValueError):
+            EulerMHDConfig(runtime="openmpi", hls=True)
+
+    def test_unknown_runtime(self):
+        with pytest.raises(ValueError):
+            EulerMHDConfig(runtime="mvapich")
+
+
+class TestGadget:
+    @pytest.fixture(scope="class")
+    def trio(self):
+        return {
+            "hls": run_gadget(GadgetConfig(n_nodes=N, runtime="mpc", hls=True)),
+            "mpc": run_gadget(GadgetConfig(n_nodes=N, runtime="mpc", hls=False)),
+            "openmpi": run_gadget(
+                GadgetConfig(n_nodes=N, runtime="openmpi", hls=False)
+            ),
+        }
+
+    def test_memory_ordering(self, trio):
+        assert trio["hls"].mem.avg_bytes < trio["mpc"].mem.avg_bytes
+        assert trio["mpc"].mem.avg_bytes < trio["openmpi"].mem.avg_bytes
+
+    def test_saving_matches_ewald_table(self, trio):
+        saved = trio["mpc"].mem.avg_bytes - trio["hls"].mem.avg_bytes
+        assert saved == pytest.approx(7 * EWALD_TABLE_BYTES, rel=0.01)
+
+    def test_all_pairs_pattern_inflates_process_runtime(self):
+        """Gadget's all-peer exchanges instantiate eager buffers on the
+        process backend (why Table III's Open MPI column is huge)."""
+        conn = run_gadget(
+            GadgetConfig(n_nodes=N, runtime="openmpi", connect_all_peers=True)
+        )
+        sparse = run_gadget(
+            GadgetConfig(n_nodes=N, runtime="openmpi", connect_all_peers=False)
+        )
+        assert conn.mem.avg_bytes > sparse.mem.avg_bytes
+
+    def test_checksums_agree(self, trio):
+        assert trio["hls"].checksum == pytest.approx(trio["mpc"].checksum)
+
+
+class TestTachyon:
+    @pytest.fixture(scope="class")
+    def trio(self):
+        return {
+            "hls": run_tachyon(TachyonConfig(n_nodes=N, runtime="mpc", hls=True)),
+            "mpc": run_tachyon(TachyonConfig(n_nodes=N, runtime="mpc", hls=False)),
+            "openmpi": run_tachyon(
+                TachyonConfig(n_nodes=N, runtime="openmpi", hls=False)
+            ),
+        }
+
+    def test_memory_ordering(self, trio):
+        assert trio["hls"].mem.avg_bytes < trio["mpc"].mem.avg_bytes
+        assert trio["mpc"].mem.avg_bytes < trio["openmpi"].mem.avg_bytes
+
+    def test_saving_matches_scene_plus_image(self, trio):
+        saved = trio["mpc"].mem.avg_bytes - trio["hls"].mem.avg_bytes
+        assert saved == pytest.approx(
+            7 * (SCENE_BYTES + IMAGE_BYTES), rel=0.01
+        )
+
+    def test_elision_only_with_hls(self, trio):
+        """Intra-node sends into the shared image are received in place:
+        7 senders on rank 0's node x frames elided copies."""
+        cfg = trio["hls"].comm
+        assert trio["hls"].elided_messages == 7 * 2
+        assert trio["mpc"].elided_messages == 0
+        assert trio["openmpi"].elided_messages == 0
+
+    def test_hls_is_fastest(self, trio):
+        assert trio["hls"].modeled_time_s < trio["mpc"].modeled_time_s
+        assert trio["hls"].modeled_time_s < trio["openmpi"].modeled_time_s
+
+    def test_identical_images(self, trio):
+        assert trio["hls"].checksum == pytest.approx(trio["mpc"].checksum)
+        assert trio["hls"].checksum == pytest.approx(trio["openmpi"].checksum)
+
+    def test_height_divisibility(self):
+        with pytest.raises(ValueError):
+            TachyonConfig(n_nodes=1, height=31)

@@ -1,0 +1,109 @@
+"""Compiler coverage for remaining statement forms."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hls import HLSProgram, hls_compile
+from repro.machine import small_test_machine
+from repro.runtime import Runtime
+
+
+def make(n=4):
+    rt = Runtime(small_test_machine(), n_tasks=n, timeout=5.0)
+    return rt, HLSProgram(rt)
+
+
+class TestStatementForms:
+    def test_single_wraps_while_loop(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+        count = [0]
+        lock = threading.Lock()
+
+        def bump():
+            with lock:
+                count[0] += 1
+
+        @hls_compile(prog)
+        def main(ctx):
+            i = 0
+            #pragma hls single(t)
+            while i < 3:
+                bump()
+                i += 1
+            return i
+
+        rt.run(main)
+        assert count[0] == 3     # whole while ran once, on one task
+
+    def test_single_wraps_with_block(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+        lock = threading.Lock()
+        count = [0]
+
+        @hls_compile(prog)
+        def main(ctx):
+            #pragma hls single(t)
+            with lock:
+                count[0] += 1
+            return float(t[0])  # noqa: F821
+
+        rt.run(main)
+        assert count[0] == 1
+
+    def test_pragma_inside_with_body(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+        lock = threading.Lock()
+
+        @hls_compile(prog)
+        def main(ctx):
+            with lock:
+                pass
+            #pragma hls barrier(t)
+            return float(t[0])  # noqa: F821
+
+        assert rt.run(main) == [0.0] * 4
+
+    def test_hls_read_in_expression_contexts(self):
+        rt, prog = make()
+        prog.declare("t", shape=(3,), scope="node",
+                     initializer=lambda: np.array([1.0, 2.0, 3.0]))
+
+        @hls_compile(prog)
+        def main(ctx):
+            total = sum(t[i] for i in range(3))  # noqa: F821
+            cond = t[0] if t[1] > 0 else -1      # noqa: F821
+            lst = [t[2], float(len(t))]          # noqa: F821
+            return float(total), float(cond), lst
+
+        res = rt.run(main)
+        assert res == [(6.0, 1.0, [3.0, 3.0])] * 4
+
+    def test_single_on_return_value_computation(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+
+        @hls_compile(prog)
+        def main(ctx):
+            #pragma hls single(t) nowait
+            t[0] = 11.0  # noqa: F821
+            #pragma hls barrier(t)
+            return float(t[0])  # noqa: F821
+
+        assert rt.run(main) == [11.0] * 4
+
+    def test_compiled_function_keeps_name_and_marker(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+
+        @hls_compile(prog)
+        def my_kernel(ctx):
+            return 0
+
+        assert my_kernel.__name__ == "my_kernel"
+        assert my_kernel.__hls_compiled__ is True
+        assert my_kernel.__wrapped__ is not None

@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example runs and prints its key claim."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "with HLS (scope node):" in out
+        assert "stores the table once per node" in out
+
+    def test_physics_table(self):
+        out = run_example("physics_table.py")
+        assert "table scope: node" in out
+        assert "expected saving per 8-core node" in out
+
+    def test_shared_matrix(self):
+        out = run_example("shared_matrix.py")
+        assert "without HLS" in out and "HLS node" in out
+
+    def test_raytrace(self):
+        out = run_example("raytrace.py")
+        assert "elided copies" in out
+        assert "MPC HLS" in out
+
+    def test_auto_detect(self):
+        out = run_example("auto_detect.py")
+        assert "eligible" in out
+        assert "#pragma hls node(eos)" in out
+        assert "ineligible" in out
+
+    def test_hybrid_openmp(self):
+        out = run_example("hybrid_openmp.py")
+        assert "both optima" in out
+        assert "(10.0)" in out

@@ -1,0 +1,123 @@
+"""Integration tests: every table/figure harness produces the paper's
+qualitative shape (scaled-down, fast configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+
+class TestFigure1:
+    def test_node_scope_single_instance(self):
+        r = run_figure1()
+        assert len(r.partitions["node"]) == 1
+        assert len(r.partitions["numa"]) == 4
+        assert len(r.partitions["cache"]) == 4     # L3 == socket here
+        assert len(r.partitions["core"]) == 32
+
+    def test_render(self):
+        out = run_figure1().render()
+        assert "no duplication on the node" in out
+        assert "scope 'numa': 4 instance(s)" in out
+
+
+class TestFigure2:
+    def test_layout_shows_sharing(self):
+        r = run_figure2()
+        assert len(set(r.addresses["node_var"])) == 1
+        assert len(set(r.addresses["numa_var"])) == 2
+        assert "scope numa#1" in r.layout
+
+    def test_render(self):
+        assert "distinct image(s)" in run_figure2().render()
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(
+            sizes=("small",), read_cap=1024, steps=1, warmup_steps=1
+        )
+
+    def test_all_cells_present(self, result):
+        assert len(result.measured) == 6   # 3 variants x 2 update modes
+
+    def test_shape_no_hls_worst(self, result):
+        for update in (False, True):
+            none = result.measured[("none", update, "small")]
+            assert result.measured[("node", update, "small")] > none
+            assert result.measured[("numa", update, "small")] > none
+
+    def test_shape_numa_wins_update(self, result):
+        assert (
+            result.measured[("numa", True, "small")]
+            >= result.measured[("node", True, "small")] - 0.02
+        )
+
+    def test_render_includes_paper_column(self, result):
+        out = result.render()
+        assert "paper" in out
+        assert "without HLS" in out
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure3(sizes=(8, 48), tasks=16, updates=(False,))
+
+    def test_series_complete(self, result):
+        assert set(result.series) == {(False, v) for v in ("seq", "none", "node", "numa")}
+
+    def test_seq_fastest_at_large_size(self, result):
+        seq = result.series[(False, "seq")][1]
+        none = result.series[(False, "none")][1]
+        assert seq > none
+
+    def test_hls_between_seq_and_none(self, result):
+        seq = result.series[(False, "seq")][1]
+        none = result.series[(False, "none")][1]
+        node = result.series[(False, "node")][1]
+        assert none < node <= seq * 1.1
+
+    def test_crossover_detection(self, result):
+        assert result.crossover(False, "none") in (8, 48)
+        assert result.crossover(False, "seq") == -1
+
+    def test_render(self, result):
+        assert "no-update version" in result.render()
+
+
+class TestMemoryTables:
+    def test_table2_shape(self):
+        r = run_table2(core_counts=(16,))
+        hls = r.rows[(16, "MPC HLS")]
+        mpc = r.rows[(16, "MPC")]
+        omp = r.rows[(16, "Open MPI")]
+        assert hls.mem.avg_bytes < mpc.mem.avg_bytes < omp.mem.avg_bytes
+        assert "Table II" in r.render()
+
+    def test_table2_rejects_bad_core_count(self):
+        with pytest.raises(ValueError):
+            run_table2(core_counts=(10,))
+
+    def test_table3_shape(self):
+        r = run_table3(core_counts=(16,))
+        hls = r.rows[(16, "MPC HLS")]
+        omp = r.rows[(16, "Open MPI")]
+        assert hls.mem.avg_bytes < omp.mem.avg_bytes
+        assert "Gadget" in r.title
+
+    def test_table4_shape(self):
+        r = run_table4(core_counts=(16,))
+        hls = r.rows[(16, "MPC HLS")]
+        mpc = r.rows[(16, "MPC")]
+        assert hls.mem.avg_bytes < mpc.mem.avg_bytes
+        assert hls.modeled_time_s < mpc.modeled_time_s
+        assert hls.elided_messages > 0

@@ -1,0 +1,131 @@
+"""The 'all or none' rule and other directive restrictions (§II-C).
+
+"All or none MPI tasks should execute a single or barrier directive.
+This is similar to MPI and OpenMP collective operations."  A violation
+is a program error; the runtime surfaces it as a deadlock timeout
+rather than hanging forever.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hls import HLSDeclarationError, HLSProgram
+from repro.machine import small_test_machine
+from repro.runtime import DeadlockError, Runtime
+
+
+def make(n=4, timeout=0.5):
+    rt = Runtime(small_test_machine(), n_tasks=n, timeout=timeout)
+    return rt, HLSProgram(rt)
+
+
+class TestAllOrNone:
+    def test_partial_barrier_detected(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            if ctx.rank != 3:          # rank 3 skips the directive
+                h.barrier("t")
+
+        with pytest.raises(DeadlockError, match="did every task"):
+            rt.run(main)
+
+    def test_partial_single_detected(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            if ctx.rank == 0:
+                return                 # skips the single
+            if h.single_enter("t"):
+                h.single_done("t")
+
+        with pytest.raises(DeadlockError):
+            rt.run(main)
+
+    def test_nowait_needs_no_participation(self):
+        """single nowait has no barrier: partial execution is fine."""
+        rt, prog = make(timeout=5.0)
+        prog.declare("t", shape=(1,), scope="node")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            if ctx.rank < 2:
+                h.single_enter("t", nowait=True)
+            return True
+
+        assert rt.run(main) == [True] * 4
+
+
+class TestScopeOfDirectives:
+    def test_barrier_on_numa_only_syncs_socket(self):
+        """A numa barrier must not wait for the other socket's tasks."""
+        rt, prog = make(timeout=5.0)
+        prog.declare("v", shape=(1,), scope="numa")
+        import threading
+        sock1_blocked = threading.Event()
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            if ctx.numa == 1:
+                sock1_blocked.wait(timeout=2.0)  # delay socket 1
+            h.barrier("v")    # sockets synchronise independently
+            if ctx.rank == 0:
+                sock1_blocked.set()
+            return True
+
+        assert rt.run(main) == [True] * 4
+
+    def test_single_per_socket_instances(self):
+        rt, prog = make(timeout=5.0)
+        prog.declare("v", shape=(1,), scope="numa")
+        import threading
+        winners = []
+        lock = threading.Lock()
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            if h.single_enter("v"):
+                with lock:
+                    winners.append(ctx.numa)
+                h["v"][0] = 1.0
+                h.single_done("v")
+            return h["v"][0]
+
+        res = rt.run(main)
+        assert res == [1.0] * 4
+        assert sorted(winners) == [0, 1]   # one executor per socket
+
+
+class TestDeclarationRules:
+    def test_mark_hls_after_access_refused_via_program(self):
+        rt, prog = make(timeout=5.0)
+        prog.declare("late", shape=(1,))
+
+        def main(ctx):
+            prog.attach(ctx)["late"]
+
+        rt.run(main)
+        with pytest.raises(HLSDeclarationError, match="already accessed"):
+            prog.mark_hls("late", "node")
+
+    def test_mark_hls_before_access_ok(self):
+        rt, prog = make(timeout=5.0)
+        prog.declare("early", shape=(1,))
+        prog.mark_hls("early", "node")
+
+        def main(ctx):
+            return prog.attach(ctx).addr("early")
+
+        addrs = rt.run(main)
+        assert len(set(addrs)) == 1
+
+    def test_mark_hls_noop_when_disabled(self):
+        rt = Runtime(small_test_machine(), n_tasks=2, timeout=5.0)
+        prog = HLSProgram(rt, enabled=False)
+        prog.declare("x", shape=(1,))
+        var = prog.mark_hls("x", "node")
+        assert not var.is_hls

@@ -1,0 +1,242 @@
+"""Tests for the source-to-source HLS compiler."""
+
+import numpy as np
+import pytest
+
+from repro.hls import (
+    HLSCompileError,
+    HLSProgram,
+    compile_module_source,
+    hls_compile,
+    scan_pragmas,
+)
+from repro.machine import ScopeKind, ScopeSpec, small_test_machine
+from repro.runtime import Runtime
+
+
+def make(n=4, enabled=True):
+    rt = Runtime(small_test_machine(), n_tasks=n, timeout=5.0)
+    return rt, HLSProgram(rt, enabled=enabled)
+
+
+class TestScanPragmas:
+    def test_finds_lines(self):
+        src = "x = 1\n#pragma hls node(a)\ny = 2\n#pragma hls single(a)\n"
+        found = scan_pragmas(src)
+        assert [ln for ln, _ in found] == [2, 4]
+        assert found[0][1].kind == "scope"
+        assert found[1][1].kind == "single"
+
+    def test_ignores_normal_comments(self):
+        assert scan_pragmas("# hls is nice\nx = 1\n") == []
+
+
+class TestCompiledFunctions:
+    def test_access_rewrite_reads_shared_copy(self):
+        rt, prog = make()
+        prog.declare("table", shape=(4,), scope="node",
+                     initializer=lambda: np.arange(4.0))
+
+        @hls_compile(prog)
+        def main(ctx):
+            return float(table.sum())  # noqa: F821 - rewritten by compiler
+
+        assert rt.run(main) == [6.0] * 4
+
+    def test_single_pragma_wraps_next_statement(self):
+        rt, prog = make()
+        prog.declare("table", shape=(1,), scope="node")
+        import threading
+        count = [0]
+        lock = threading.Lock()
+
+        def bump():
+            with lock:
+                count[0] += 1
+
+        @hls_compile(prog)
+        def main(ctx):
+            #pragma hls single(table)
+            bump()
+            return float(table[0])  # noqa: F821
+
+        rt.run(main)
+        assert count[0] == 1
+
+    def test_single_writes_visible_to_all(self):
+        rt, prog = make()
+        prog.declare("table", shape=(2,), scope="node")
+
+        @hls_compile(prog)
+        def main(ctx):
+            #pragma hls single(table)
+            table[:] = 5.0  # noqa: F821
+            return float(table.sum())  # noqa: F821
+
+        assert rt.run(main) == [10.0] * 4
+
+    def test_single_wraps_compound_statement(self):
+        rt, prog = make()
+        prog.declare("t", shape=(4,), scope="node")
+        import threading
+        loops = [0]
+        lock = threading.Lock()
+
+        @hls_compile(prog)
+        def main(ctx):
+            #pragma hls single(t)
+            for i in range(4):
+                with lock:
+                    loops[0] += 1
+                t[i] = float(i)  # noqa: F821
+            return float(t.sum())  # noqa: F821
+
+        assert rt.run(main) == [6.0] * 4
+        assert loops[0] == 4    # the whole loop ran once, not per task
+
+    def test_barrier_pragma_inserts_barrier(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+
+        @hls_compile(prog)
+        def main(ctx):
+            if ctx.rank == 0:
+                t[0] = 99.0  # noqa: F821
+            #pragma hls barrier(t)
+            val = float(t[0])  # noqa: F821
+            return val
+
+        # Without the barrier this would race; with it rank 0's write
+        # happens-before every read... but only rank 0 writes before the
+        # barrier, so all see 99.
+        assert rt.run(main) == [99.0] * 4
+
+    def test_single_nowait_pragma(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+        import threading
+        count = [0]
+        lock = threading.Lock()
+
+        def bump():
+            with lock:
+                count[0] += 1
+
+        @hls_compile(prog)
+        def main(ctx):
+            #pragma hls single(t) nowait
+            bump()
+
+        rt.run(main)
+        assert count[0] == 1
+
+    def test_rebinding_hls_variable_rejected(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+
+        with pytest.raises(HLSCompileError, match="rebind"):
+            @hls_compile(prog)
+            def main(ctx):
+                t = 3  # noqa: F841
+
+    def test_elementwise_augassign_allowed(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node")
+
+        @hls_compile(prog)
+        def main(ctx):
+            #pragma hls single(t)
+            t[0] += 2.0  # noqa: F821
+            return float(t[0])  # noqa: F821
+
+        assert rt.run(main) == [2.0] * 4
+
+    def test_local_shadow_in_nested_function(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,), scope="node",
+                     initializer=lambda: np.array([7.0]))
+
+        @hls_compile(prog)
+        def main(ctx):
+            def inner(t):
+                return t          # parameter, not the HLS variable
+            return inner(3)
+
+        assert rt.run(main) == [3] * 4
+
+    def test_needs_ctx_parameter(self):
+        rt, prog = make()
+        with pytest.raises(HLSCompileError, match="first parameter"):
+            @hls_compile(prog)
+            def main():
+                pass
+
+    def test_scope_pragma_inside_function_rejected(self):
+        rt, prog = make()
+        prog.declare("t", shape=(1,))
+        with pytest.raises(HLSCompileError, match="module level"):
+            @hls_compile(prog)
+            def main(ctx):
+                #pragma hls node(t)
+                return 0
+
+    def test_disabled_program_runs_block_everywhere(self):
+        """Ignoring the directives must still produce a correct code."""
+        rt, prog = make(enabled=False)
+        prog.declare("t", shape=(1,), scope="node")
+
+        @hls_compile(prog)
+        def main(ctx):
+            #pragma hls single(t)
+            t[0] = float(ctx.rank)  # noqa: F821
+            return float(t[0])  # noqa: F821
+
+        assert rt.run(main) == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestCompileModule:
+    SOURCE = '''
+import numpy as np
+
+RES = 8
+table = np.zeros(RES)
+#pragma hls node(table)
+
+def load_table(values):
+    return np.asarray(values, dtype=float)
+
+def main(ctx):
+    #pragma hls single(table)
+    table[:] = np.arange(RES, dtype=float)
+    return float(table.sum())
+'''
+
+    def test_module_pipeline(self):
+        rt, prog = make()
+        ns = compile_module_source(self.SOURCE, prog)
+        var = prog.registry["table"]
+        assert var.scope == ScopeSpec(ScopeKind.NODE)
+        assert var.shape == (8,)
+        res = rt.run(ns["main"])
+        assert res == [28.0] * 4
+
+    def test_module_initial_value_from_source(self):
+        src = "import numpy as np\nk = np.full(3, 2.5)\n#pragma hls numa(k)\n"
+        rt, prog = make()
+        compile_module_source(src, prog)
+
+        def main(ctx):
+            return prog.attach(ctx)["k"].sum()
+
+        assert rt.run(main) == [7.5] * 4
+
+    def test_scalar_global(self):
+        src = "c = 299792458\n#pragma hls node(c)\n"
+        rt, prog = make()
+        compile_module_source(src, prog)
+        assert prog.registry["c"].shape == (1,)
+
+    def test_unknown_variable_in_pragma(self):
+        with pytest.raises(HLSCompileError, match="undefined"):
+            _, prog = make()
+            compile_module_source("#pragma hls node(ghost)\n", prog)

@@ -1,0 +1,104 @@
+"""Tests for pragma parsing."""
+
+import pytest
+
+from repro.hls import Directive, PragmaError, is_pragma, parse_pragma
+from repro.machine import ScopeKind, ScopeSpec
+
+
+class TestIsPragma:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "#pragma hls node(a)",
+            "  # pragma hls single(a) nowait",
+            "!$ hls barrier(a, b)",
+        ],
+    )
+    def test_positive(self, line):
+        assert is_pragma(line)
+
+    @pytest.mark.parametrize(
+        "line",
+        ["x = 1", "# a comment about hls", "#pragma omp parallel", ""],
+    )
+    def test_negative(self, line):
+        assert not is_pragma(line)
+
+
+class TestParseScope:
+    def test_node(self):
+        d = parse_pragma("#pragma hls node(a, b)")
+        assert d.kind == "scope"
+        assert d.scope == ScopeSpec(ScopeKind.NODE)
+        assert d.variables == ("a", "b")
+
+    def test_numa(self):
+        d = parse_pragma("#pragma hls numa(x)")
+        assert d.scope == ScopeSpec(ScopeKind.NUMA)
+
+    def test_cache_with_level(self):
+        d = parse_pragma("#pragma hls cache(t) level(2)")
+        assert d.scope == ScopeSpec(ScopeKind.CACHE, 2)
+
+    def test_core(self):
+        d = parse_pragma("#pragma hls core(c)")
+        assert d.scope == ScopeSpec(ScopeKind.CORE)
+
+    def test_node_rejects_level(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma hls node(a) level(2)")
+
+    def test_fortran_sentinel(self):
+        d = parse_pragma("!$ hls node(tbl)")
+        assert d.kind == "scope"
+        assert d.variables == ("tbl",)
+
+
+class TestParseSingleBarrier:
+    def test_single(self):
+        d = parse_pragma("#pragma hls single(a, b)")
+        assert d.kind == "single"
+        assert not d.nowait
+
+    def test_single_nowait(self):
+        d = parse_pragma("#pragma hls single(a) nowait")
+        assert d.nowait
+
+    def test_single_bad_trailer(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma hls single(a) whenever")
+
+    def test_barrier(self):
+        d = parse_pragma("#pragma hls barrier(a, b, c)")
+        assert d.kind == "barrier"
+        assert d.variables == ("a", "b", "c")
+
+    def test_barrier_no_trailer(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma hls barrier(a) nowait")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "#pragma hls node()",
+            "#pragma hls frobnicate(a)",
+            "#pragma hls single(1bad)",
+            "#pragma hls",
+            "#pragma hls single a",
+        ],
+    )
+    def test_malformed(self, line):
+        with pytest.raises(PragmaError):
+            parse_pragma(line)
+
+    def test_str_roundtrip(self):
+        for text in [
+            "#pragma hls node(a, b)",
+            "#pragma hls single(a) nowait",
+            "#pragma hls barrier(a)",
+        ]:
+            d = parse_pragma(text)
+            assert parse_pragma(str(d)) == d

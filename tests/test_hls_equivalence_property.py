@@ -1,0 +1,83 @@
+"""Property test of the paper's compatibility guarantee.
+
+"This extension does not violate the original semantics, i.e. a
+compiler unaware of these directives can ignore them and should
+generate a correct code if the program was correct without them."
+
+We generate random SPMD programs over HLS variables -- sequences of
+single-protected writes, barriers and reads, the pattern section III-C
+proves safe -- and run each program twice: with HLS enabled (shared
+storage, real single/barrier synchronisation) and disabled (private
+copies, directives ignored).  Every task must observe identical values
+in both modes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hls import HLSProgram
+from repro.machine import small_test_machine
+from repro.runtime import Runtime
+
+VARS = ("x", "y")
+
+# A program is a list of ops applied by every task in order (SPMD):
+#   ("write", var, value)  -- single-protected write
+#   ("barrier", var)       -- hls barrier
+#   ("read", var)          -- record the value seen
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.sampled_from(VARS),
+                  st.integers(0, 9)),
+        st.tuples(st.just("barrier"), st.sampled_from(VARS)),
+        st.tuples(st.just("read"), st.sampled_from(VARS)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def execute(program, enabled: bool):
+    rt = Runtime(small_test_machine(), n_tasks=4, timeout=10.0)
+    prog = HLSProgram(rt, enabled=enabled)
+    for v in VARS:
+        prog.declare(v, shape=(1,), scope="node")
+
+    def main(ctx):
+        h = prog.attach(ctx)
+        seen = []
+        for op in program:
+            if op[0] == "write":
+                _, var, value = op
+                if h.single_enter(var):
+                    try:
+                        h[var][0] = float(value)
+                    finally:
+                        h.single_done(var)
+            elif op[0] == "barrier":
+                h.barrier(op[1])
+            else:
+                seen.append(float(h[op[1]][0]))
+        return seen
+
+    return rt.run(main)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops)
+def test_property_ignoring_directives_preserves_semantics(program):
+    with_hls = execute(program, enabled=True)
+    without = execute(program, enabled=False)
+    assert with_hls == without
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops)
+def test_property_all_tasks_agree_under_hls(program):
+    """With HLS enabled, every task of the node sees the same values
+    (they literally share the memory)."""
+    results = execute(program, enabled=True)
+    assert all(r == results[0] for r in results)

@@ -1,0 +1,105 @@
+"""The decoupling the paper motivates in section I: HLS lets data
+sharing be chosen independently of the programming-model decomposition.
+
+"The HLS extension allows the programmer to have an HLS variable with
+scope node while its hybrid code has one MPI task per socket or an HLS
+variable with scope NUMA while its hybrid code has only one MPI task
+per node."
+"""
+
+import numpy as np
+import pytest
+
+from repro.hls import HLSProgram
+from repro.machine import nehalem_ex_node
+from repro.runtime import Runtime
+
+
+class TestOneTaskPerSocket:
+    """Hybrid layout: 4 MPI tasks (one per socket), OpenMP threads
+    implied inside; an HLS node-scope variable is still shared by all
+    four tasks."""
+
+    def test_node_scope_spans_sockets(self):
+        machine = nehalem_ex_node()
+        # pin one task on the first core of each socket
+        rt = Runtime(machine, n_tasks=4, pinning=[0, 8, 16, 24], timeout=5.0)
+        prog = HLSProgram(rt)
+        prog.declare("shared", shape=(4,), scope="node")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            if h.single_enter("shared"):
+                h["shared"][:] = 7.0
+                h.single_done("shared")
+            return h.addr("shared"), float(h["shared"].sum())
+
+        res = rt.run(main)
+        addrs = {a for a, _ in res}
+        assert len(addrs) == 1                  # one copy on the node
+        assert all(v == 28.0 for _, v in res)
+
+    def test_numa_scope_private_per_socket_task(self):
+        machine = nehalem_ex_node()
+        rt = Runtime(machine, n_tasks=4, pinning=[0, 8, 16, 24], timeout=5.0)
+        prog = HLSProgram(rt)
+        prog.declare("per_socket", shape=(1,), scope="numa")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            h["per_socket"][0] = float(ctx.rank)
+            ctx.comm_world.barrier()
+            return float(h["per_socket"][0])
+
+        # each task is alone in its socket: numa scope == private here
+        assert rt.run(main) == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestOneTaskPerNode:
+    def test_numa_scope_with_single_task(self):
+        """One MPI task per node, scope numa: the task owns all four
+        socket instances conceptually but only touches its own."""
+        machine = nehalem_ex_node()
+        rt = Runtime(machine, n_tasks=1, pinning=[0], timeout=5.0)
+        prog = HLSProgram(rt)
+        prog.declare("v", shape=(1,), scope="numa")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            h["v"][0] = 5.0
+            return float(h["v"][0])
+
+        assert rt.run(main) == [5.0]
+
+
+class TestCacheScope:
+    def test_cache_level_one_private_per_core(self):
+        machine = nehalem_ex_node()
+        rt = Runtime(machine, n_tasks=8, timeout=5.0)  # socket 0 cores
+        prog = HLSProgram(rt)
+        prog.declare("l1v", shape=(1,), scope="cache level(1)")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            h["l1v"][0] = float(ctx.rank)
+            ctx.comm_world.barrier()
+            return float(h["l1v"][0])
+
+        # L1 is private per core -> 8 distinct copies
+        assert rt.run(main) == [float(r) for r in range(8)]
+
+    def test_llc_scope_equals_numa_on_nehalem(self):
+        """On the Nehalem-EX node 'the hls numa scope and the hls cache
+        level(llc) scope are identical' (section V-A)."""
+        machine = nehalem_ex_node()
+        rt = Runtime(machine, n_tasks=16, timeout=5.0)
+        prog = HLSProgram(rt)
+        prog.declare("a", shape=(1,), scope="cache")
+        prog.declare("b", shape=(1,), scope="numa")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            return h.scope_instance("a").index, h.scope_instance("b").index
+
+        for ca, nu in rt.run(main):
+            assert ca == nu

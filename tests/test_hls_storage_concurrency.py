@@ -1,0 +1,155 @@
+"""Storage materialisation under concurrency + multi-module layouts."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hls import HLSProgram
+from repro.machine import core2_cluster, small_test_machine
+from repro.runtime import Runtime
+
+
+class TestFirstTouchRace:
+    def test_concurrent_first_touch_single_image(self):
+        """All tasks call get() simultaneously; the per-(instance,
+        module) lock must produce exactly one image and one
+        initializer run (section IV-A's locks)."""
+        rt = Runtime(core2_cluster(1), n_tasks=8, timeout=10.0)
+        prog = HLSProgram(rt)
+        init_runs = []
+        lock = threading.Lock()
+
+        def init():
+            with lock:
+                init_runs.append(1)
+            return np.full(1000, 3.0)
+
+        prog.declare("t", shape=(1000,), scope="node", initializer=init)
+        gate = threading.Barrier(8)
+
+        def main(ctx):
+            gate.wait()                       # synchronise the stampede
+            return prog.attach(ctx).addr("t")
+
+        addrs = rt.run(main)
+        assert len(set(addrs)) == 1
+        assert len(init_runs) == 1
+
+    def test_concurrent_touch_different_scopes(self):
+        rt = Runtime(core2_cluster(1), n_tasks=8, timeout=10.0)
+        prog = HLSProgram(rt)
+        prog.declare("n", shape=(10,), scope="numa")
+        gate = threading.Barrier(8)
+
+        def main(ctx):
+            gate.wait()
+            return prog.attach(ctx).addr("n")
+
+        addrs = rt.run(main)
+        assert len(set(addrs)) == 2           # two sockets
+
+
+class TestMultiModule:
+    def test_two_modules_independent_images(self):
+        """Section IV-A identifies variables by (module, offset); a
+        library's module gets its own image per scope instance."""
+        rt = Runtime(small_test_machine(), n_tasks=4, timeout=5.0)
+        prog = HLSProgram(rt)
+        lib = prog.registry.new_module("libphysics")
+        main_var = prog.declare("app_tbl", shape=(8,), scope="node")
+        from repro.machine import ScopeSpec
+        lib_var = prog.registry.declare(
+            "lib_tbl", shape=(4,), scope=ScopeSpec.parse("node"), module=lib
+        )
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            a = h.addr("app_tbl")
+            b = h.addr("lib_tbl")
+            return a, b
+
+        res = rt.run(main)
+        a_addrs = {a for a, _ in res}
+        b_addrs = {b for _, b in res}
+        assert len(a_addrs) == 1 and len(b_addrs) == 1
+        assert a_addrs != b_addrs             # distinct module images
+
+    def test_get_addr_abi_with_module_ids(self):
+        rt = Runtime(small_test_machine(), n_tasks=2, timeout=5.0)
+        prog = HLSProgram(rt)
+        lib = prog.registry.new_module("lib")
+        from repro.machine import ScopeSpec
+        v = prog.registry.declare(
+            "k", shape=(2,), scope=ScopeSpec.parse("node"), module=lib
+        )
+        assert v.module == 1
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            return h.hls_get_addr_node(v.module, v.offset)
+
+        addrs = rt.run(main)
+        assert len(set(addrs)) == 1
+
+    def test_offsets_within_module_image(self):
+        rt = Runtime(small_test_machine(), n_tasks=2, timeout=5.0)
+        prog = HLSProgram(rt)
+        a = prog.declare("a", shape=(3,), scope="node")
+        b = prog.declare("b", shape=(5,), scope="node")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            return h.addr("a"), h.addr("b")
+
+        res = rt.run(main)
+        addr_a, addr_b = res[0]
+        assert addr_b - addr_a == b.offset - a.offset
+
+
+class TestViewSemantics:
+    def test_views_alias_the_same_memory(self):
+        rt = Runtime(small_test_machine(), n_tasks=2, timeout=5.0)
+        prog = HLSProgram(rt)
+        prog.declare("t", shape=(4,), scope="node")
+        views = {}
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            views[ctx.rank] = h["t"]
+            ctx.comm_world.barrier()
+            if ctx.rank == 0:
+                h["t"][2] = 9.0
+            ctx.comm_world.barrier()
+            return float(h["t"][2])
+
+        res = rt.run(main)
+        assert res == [9.0, 9.0]
+        assert np.shares_memory(views[0], views[1])
+
+    def test_scalar_variable_roundtrip(self):
+        rt = Runtime(small_test_machine(), n_tasks=2, timeout=5.0)
+        prog = HLSProgram(rt)
+        prog.declare("pi", dtype=np.float64, scope="node",
+                     initializer=lambda: np.array([3.14159]))
+
+        def main(ctx):
+            return float(prog.attach(ctx)["pi"][0])
+
+        assert rt.run(main) == [3.14159, 3.14159]
+
+    def test_int_dtype_variable(self):
+        rt = Runtime(small_test_machine(), n_tasks=2, timeout=5.0)
+        prog = HLSProgram(rt)
+        prog.declare("counts", shape=(4,), dtype=np.int32, scope="node")
+
+        def main(ctx):
+            h = prog.attach(ctx)
+            if h.single_enter("counts"):
+                h["counts"][:] = np.arange(4, dtype=np.int32)
+                h.single_done("counts")
+            return h["counts"].dtype.str, int(h["counts"].sum())
+
+        res = rt.run(main)
+        assert all(d == "<i4" and s == 6 for d, s in res)

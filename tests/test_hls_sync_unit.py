@@ -1,0 +1,159 @@
+"""Unit tests for the HLS synchronisation state machines, driven by real
+threads at the ScopeSyncState level."""
+
+import threading
+
+import pytest
+
+from repro.hls.sync import ScopeSyncState
+from repro.machine.scopes import ScopeInstance, ScopeSpec
+
+
+def make_state(n=4, groups=None, timeout=5.0):
+    inst = ScopeInstance(ScopeSpec.parse("node"), 0)
+    return ScopeSyncState(
+        inst, tuple(range(n)), threading.Event(), timeout=timeout,
+        groups=groups,
+    )
+
+
+def run_threads(n, fn):
+    errs = []
+
+    def wrap(rank):
+        try:
+            fn(rank)
+        except BaseException as e:  # noqa: BLE001
+            errs.append(e)
+
+    ts = [threading.Thread(target=wrap, args=(r,)) for r in range(n)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    if errs:
+        raise errs[0]
+
+
+class TestBarrierState:
+    def test_epoch_counts_episodes(self):
+        st = make_state(4)
+        run_threads(4, lambda r: [st.barrier(r) for _ in range(5)])
+        assert st.epoch == 5
+
+    def test_no_participants_rejected(self):
+        inst = ScopeInstance(ScopeSpec.parse("node"), 0)
+        with pytest.raises(ValueError):
+            ScopeSyncState(inst, (), threading.Event(), timeout=1.0)
+
+    def test_flat_accounting(self):
+        st = make_state(4)
+        run_threads(4, lambda r: st.barrier(r))
+        assert st.cross_ops == 4        # every arrival crosses
+        assert st.local_ops == 0
+
+    def test_hierarchical_accounting(self):
+        groups = {0: 0, 1: 0, 2: 1, 3: 1}
+        st = make_state(4, groups=groups)
+        run_threads(4, lambda r: st.barrier(r))
+        assert st.local_ops == 4
+        assert st.cross_ops == 2        # one leader per llc group
+
+
+class TestSingleState:
+    def test_exactly_one_executor(self):
+        st = make_state(4)
+        executed = []
+        lock = threading.Lock()
+
+        def body(rank):
+            if st.single_enter(rank):
+                with lock:
+                    executed.append(rank)
+                st.single_done(rank)
+
+        run_threads(4, body)
+        assert len(executed) == 1
+
+    def test_waiters_blocked_until_done(self):
+        """Non-executing tasks must observe the executor's write."""
+        st = make_state(4)
+        box = {"v": 0}
+
+        def body(rank):
+            if st.single_enter(rank):
+                box["v"] = 42
+                st.single_done(rank)
+            assert box["v"] == 42
+
+        run_threads(4, body)
+
+    def test_repeated_singles(self):
+        st = make_state(3)
+        count = [0]
+        lock = threading.Lock()
+
+        def body(rank):
+            for _ in range(10):
+                if st.single_enter(rank):
+                    with lock:
+                        count[0] += 1
+                    st.single_done(rank)
+
+        run_threads(3, body)
+        assert count[0] == 10
+        assert st.epoch == 10
+
+
+class TestNowaitState:
+    def test_first_arriver_executes(self):
+        st = make_state(4)
+        winners = []
+        lock = threading.Lock()
+
+        def body(rank):
+            if st.single_nowait_enter(rank):
+                with lock:
+                    winners.append(rank)
+
+        run_threads(4, body)
+        assert len(winners) == 1
+        assert st.nowait_shared == 1
+
+    def test_per_dynamic_instance(self):
+        st = make_state(4)
+        executions = [0] * 8
+        lock = threading.Lock()
+
+        def body(rank):
+            for i in range(8):
+                if st.single_nowait_enter(rank):
+                    with lock:
+                        executions[i] += 1
+
+        run_threads(4, body)
+        # Each of the 8 dynamic singles executed exactly once overall.
+        assert st.nowait_shared == 8
+        assert sum(executions) == 8
+
+    def test_signature_includes_nowait(self):
+        st = make_state(2)
+        run_threads(2, lambda r: st.single_nowait_enter(r))
+        run_threads(2, lambda r: st.barrier(r))
+        assert st.sync_signature() == (1, 1)
+
+
+class TestMixedOrdering:
+    def test_barrier_then_single_then_nowait(self):
+        st = make_state(4)
+
+        def body(rank):
+            st.barrier(rank)
+            if st.single_enter(rank):
+                st.single_done(rank)
+            st.single_nowait_enter(rank)
+            st.barrier(rank)
+
+        run_threads(4, body)
+        assert st.epoch == 3            # 2 barriers + 1 single
+        assert st.nowait_shared == 1

@@ -1,0 +1,120 @@
+"""Tests for the HLS variable registry / module layout."""
+
+import numpy as np
+import pytest
+
+from repro.hls.variable import HLSDeclarationError, HLSModule, HLSRegistry
+from repro.machine import ScopeKind, ScopeSpec
+
+
+class TestModuleLayout:
+    def test_offsets_aligned_and_disjoint(self):
+        mod = HLSModule(0)
+        a = mod.add("a", shape=(3,), dtype=np.float64, scope=None)
+        b = mod.add("b", shape=(100,), dtype=np.int32, scope=None)
+        assert a.offset % 64 == 0
+        assert b.offset % 64 == 0
+        assert b.offset >= a.offset + a.nbytes
+
+    def test_duplicate_in_module(self):
+        mod = HLSModule(0)
+        mod.add("a", shape=(1,), dtype=float, scope=None)
+        with pytest.raises(HLSDeclarationError):
+            mod.add("a", shape=(1,), dtype=float, scope=None)
+
+    def test_by_offset(self):
+        mod = HLSModule(0)
+        a = mod.add("a", shape=(2,), dtype=float, scope=None)
+        assert mod.by_offset(a.offset) is a
+        with pytest.raises(KeyError):
+            mod.by_offset(a.offset + 1)
+
+    def test_image_bytes_covers_all(self):
+        mod = HLSModule(0)
+        mod.add("a", shape=(5,), dtype=np.float64, scope=None)
+        v = mod.add("b", shape=(7,), dtype=np.int8, scope=None)
+        assert mod.image_bytes >= v.offset + v.nbytes
+
+
+class TestVariable:
+    def test_nbytes(self):
+        mod = HLSModule(0)
+        v = mod.add("v", shape=(10, 10), dtype=np.float64, scope=None)
+        assert v.nbytes == 800
+
+    def test_default_initial_value_zeros(self):
+        mod = HLSModule(0)
+        v = mod.add("v", shape=(4,), dtype=np.float64, scope=None)
+        assert (v.initial_value() == 0).all()
+
+    def test_initializer_shape_checked(self):
+        mod = HLSModule(0)
+        v = mod.add("v", shape=(4,), dtype=np.float64, scope=None,
+                    initializer=lambda: np.zeros(3))
+        with pytest.raises(HLSDeclarationError):
+            v.initial_value()
+
+    def test_is_hls(self):
+        mod = HLSModule(0)
+        a = mod.add("a", shape=(1,), dtype=float, scope=ScopeSpec(ScopeKind.NODE))
+        b = mod.add("b", shape=(1,), dtype=float, scope=None)
+        assert a.is_hls and not b.is_hls
+
+
+class TestRegistry:
+    def test_declare_and_lookup(self):
+        reg = HLSRegistry()
+        v = reg.declare("t", shape=(2, 2), scope=ScopeSpec(ScopeKind.NODE))
+        assert reg["t"] is v
+        assert "t" in reg
+
+    def test_scalar_shape_normalised(self):
+        reg = HLSRegistry()
+        v = reg.declare("s", dtype=np.int64)
+        assert v.shape == (1,)
+
+    def test_duplicate_across_modules_rejected(self):
+        reg = HLSRegistry()
+        reg.declare("x")
+        other = reg.new_module("lib")
+        with pytest.raises(HLSDeclarationError):
+            reg.declare("x", module=other)
+
+    def test_unknown_lookup(self):
+        with pytest.raises(HLSDeclarationError):
+            HLSRegistry()["nope"]
+
+    def test_set_scope_promotes(self):
+        reg = HLSRegistry()
+        reg.declare("x", shape=(3,))
+        v = reg.set_scope("x", ScopeSpec(ScopeKind.NUMA))
+        assert v.scope == ScopeSpec(ScopeKind.NUMA)
+
+    def test_set_scope_after_access_rejected(self):
+        """threadprivate rule: 'it should not have already been
+        accessed' (section II-B1)."""
+        reg = HLSRegistry()
+        v = reg.declare("x", shape=(3,))
+        v.accessed = True
+        with pytest.raises(HLSDeclarationError):
+            reg.set_scope("x", ScopeSpec(ScopeKind.NODE))
+
+    def test_set_scope_twice_rejected(self):
+        reg = HLSRegistry()
+        reg.declare("x", shape=(3,))
+        reg.set_scope("x", ScopeSpec(ScopeKind.NODE))
+        with pytest.raises(HLSDeclarationError):
+            reg.set_scope("x", ScopeSpec(ScopeKind.NUMA))
+
+    def test_hls_bytes_sums_only_hls(self):
+        reg = HLSRegistry()
+        reg.declare("a", shape=(100,), dtype=np.float64,
+                    scope=ScopeSpec(ScopeKind.NODE))
+        reg.declare("b", shape=(50,), dtype=np.float64)
+        assert reg.hls_bytes() == 800
+
+    def test_second_module_ids(self):
+        reg = HLSRegistry()
+        lib = reg.new_module("libphysics")
+        v = reg.declare("c", shape=(1,), module=lib)
+        assert v.module == lib.module_id == 1

@@ -1,0 +1,92 @@
+"""Unit tests for ScopeKind / ScopeSpec / scope_rank parsing and ordering."""
+
+import pytest
+
+from repro.machine import ScopeKind, ScopeSpec, scope_rank
+
+
+class TestScopeSpecConstruction:
+    def test_core_scope_rejects_level(self):
+        with pytest.raises(ValueError):
+            ScopeSpec(ScopeKind.CORE, 1)
+
+    def test_node_scope_rejects_level(self):
+        with pytest.raises(ValueError):
+            ScopeSpec(ScopeKind.NODE, 2)
+
+    def test_cache_scope_accepts_level(self):
+        spec = ScopeSpec(ScopeKind.CACHE, 2)
+        assert spec.level == 2
+
+    def test_numa_scope_accepts_level(self):
+        spec = ScopeSpec(ScopeKind.NUMA, 1)
+        assert spec.level == 1
+
+    def test_level_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScopeSpec(ScopeKind.CACHE, 0)
+
+    def test_frozen(self):
+        spec = ScopeSpec(ScopeKind.NODE)
+        with pytest.raises(AttributeError):
+            spec.level = 3  # type: ignore[misc]
+
+    def test_str_without_level(self):
+        assert str(ScopeSpec(ScopeKind.NODE)) == "node"
+
+    def test_str_with_level(self):
+        assert str(ScopeSpec(ScopeKind.CACHE, 3)) == "cache level(3)"
+
+
+class TestScopeSpecParse:
+    @pytest.mark.parametrize(
+        "text,kind,level",
+        [
+            ("node", ScopeKind.NODE, None),
+            ("numa", ScopeKind.NUMA, None),
+            ("cache", ScopeKind.CACHE, None),
+            ("core", ScopeKind.CORE, None),
+            ("cache level(2)", ScopeKind.CACHE, 2),
+            ("cache(3)", ScopeKind.CACHE, 3),
+            ("numa level(1)", ScopeKind.NUMA, 1),
+            ("NODE", ScopeKind.NODE, None),
+            ("  llc ", ScopeKind.CACHE, None),
+        ],
+    )
+    def test_parse_valid(self, text, kind, level):
+        spec = ScopeSpec.parse(text)
+        assert spec.kind is kind
+        assert spec.level == level
+
+    @pytest.mark.parametrize("text", ["socket", "cache level(x)", "cache(2) junk", ""])
+    def test_parse_invalid(self, text):
+        with pytest.raises(ValueError):
+            ScopeSpec.parse(text)
+
+
+class TestScopeRank:
+    """core < cache(1) < ... < cache(llc) < numa < node (paper: node is
+    the largest scope and core the smallest)."""
+
+    LLC = 3
+
+    def rank(self, text):
+        return scope_rank(ScopeSpec.parse(text), self.LLC)
+
+    def test_total_order(self):
+        order = ["core", "cache(1)", "cache(2)", "cache(3)", "numa", "node"]
+        ranks = [self.rank(t) for t in order]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(ranks)
+
+    def test_default_cache_is_llc(self):
+        assert self.rank("cache") == self.rank("cache(3)")
+
+    def test_cache_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.rank("cache(4)")
+
+    def test_numa_level_2_wider_than_level_1(self):
+        assert scope_rank(ScopeSpec.parse("numa level(2)"), self.LLC) > scope_rank(
+            ScopeSpec.parse("numa level(1)"), self.LLC
+        )

@@ -1,0 +1,221 @@
+"""Unit + property tests for the Machine topology model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    CacheSpec,
+    Machine,
+    ScopeKind,
+    ScopeSpec,
+    build_machine,
+    core2_cluster,
+    nehalem_ex_node,
+    small_test_machine,
+)
+
+
+class TestCacheSpec:
+    def test_n_sets(self):
+        spec = CacheSpec(level=1, size_bytes=32 << 10, line_bytes=64,
+                         associativity=8, latency_cycles=4)
+        assert spec.n_sets == 64
+
+    def test_rejects_nondividing_associativity(self):
+        with pytest.raises(ValueError):
+            CacheSpec(level=1, size_bytes=1024, line_bytes=64,
+                      associativity=3, latency_cycles=1)
+
+    def test_rejects_size_not_multiple_of_line(self):
+        with pytest.raises(ValueError):
+            CacheSpec(level=1, size_bytes=1000, line_bytes=64,
+                      associativity=1, latency_cycles=1)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            CacheSpec(level=0, size_bytes=1024, line_bytes=64,
+                      associativity=2, latency_cycles=1)
+
+
+class TestBuildValidation:
+    def test_cache_levels_must_be_contiguous(self):
+        caches = [CacheSpec(level=2, size_bytes=1024, line_bytes=64,
+                            associativity=2, latency_cycles=1)]
+        with pytest.raises(ValueError):
+            build_machine(caches=caches)
+
+    def test_shared_cores_must_divide_cores_per_socket(self):
+        caches = [CacheSpec(level=1, size_bytes=1024, line_bytes=64,
+                            associativity=2, latency_cycles=1, shared_cores=3)]
+        with pytest.raises(ValueError):
+            build_machine(cores_per_socket=4, caches=caches)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            build_machine(n_nodes=0)
+
+
+class TestNehalemPreset:
+    """Geometry of section V-A: 4 sockets x 8 cores, 18MB L3/socket."""
+
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return nehalem_ex_node()
+
+    def test_counts(self, machine):
+        assert machine.n_nodes == 1
+        assert machine.n_sockets == 4
+        assert machine.n_cores == 32
+        assert machine.n_pus == 32
+
+    def test_llc_shared_per_socket(self, machine):
+        assert machine.llc_level == 3
+        assert machine.cache_instances(3) == 4
+        assert machine.caches[3].size_bytes == 18 << 20
+
+    def test_numa_equals_llc_scope(self, machine):
+        """On this node NUMA == socket == L3 domain (paper section V-A)."""
+        numa = ScopeSpec(ScopeKind.NUMA)
+        llc = ScopeSpec(ScopeKind.CACHE)
+        for a in range(machine.n_pus):
+            for b in range(machine.n_pus):
+                assert machine.same_scope(a, b, numa) == machine.same_scope(a, b, llc)
+
+    def test_scaled_variant_shrinks_caches(self):
+        scaled = nehalem_ex_node(scale=64)
+        full = nehalem_ex_node()
+        assert scaled.caches[3].size_bytes < full.caches[3].size_bytes
+        assert scaled.n_pus == full.n_pus
+
+
+class TestCore2Preset:
+    def test_eight_cores_per_node(self):
+        m = core2_cluster(4)
+        assert m.pus_per_node == 8
+        assert m.n_nodes == 4
+        assert m.n_pus == 32
+
+    def test_l2_shared_per_core_pair(self):
+        m = core2_cluster(1)
+        # cores 0,1 share an L2; cores 1,2 do not
+        assert m.pus[0].cache_id(2) == m.pus[1].cache_id(2)
+        assert m.pus[1].cache_id(2) != m.pus[2].cache_id(2)
+
+    def test_no_l3(self):
+        m = core2_cluster(1)
+        assert m.llc_level == 2
+
+
+class TestScopeResolution:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        # 2 nodes x 2 sockets x 2 cores x smt 2 = 16 PUs
+        return small_test_machine(n_nodes=2, smt=2)
+
+    def test_node_scope_groups_whole_node(self, machine):
+        spec = ScopeSpec(ScopeKind.NODE)
+        inst = machine.scope_instance(0, spec)
+        assert machine.scope_members(inst) == tuple(range(machine.pus_per_node))
+
+    def test_core_scope_groups_hyperthreads(self, machine):
+        """Hyperthreads on the same physical core share the core scope
+        (paper: 'allowing sharing among hyperthreads scheduled on the
+        same core')."""
+        spec = ScopeSpec(ScopeKind.CORE)
+        inst0 = machine.scope_instance(0, spec)
+        inst1 = machine.scope_instance(1, spec)
+        assert inst0 == inst1  # PUs 0,1 are SMT siblings
+        assert machine.scope_instance(2, spec) != inst0
+
+    def test_numa_scope_is_socket(self, machine):
+        spec = ScopeSpec(ScopeKind.NUMA)
+        members = machine.scope_members(machine.scope_instance(0, spec))
+        assert len(members) == machine.cores_per_socket * machine.smt
+
+    def test_unknown_cache_level_raises(self, machine):
+        with pytest.raises(ValueError):
+            machine.scope_instance(0, ScopeSpec(ScopeKind.CACHE, 5))
+
+    def test_numa_level_beyond_machine_raises(self, machine):
+        with pytest.raises(ValueError):
+            machine.scope_instance(0, ScopeSpec(ScopeKind.NUMA, 2))
+
+    def test_widest_picks_node(self, machine):
+        specs = [ScopeSpec.parse(s) for s in ("core", "numa", "node", "cache(1)")]
+        assert machine.widest(specs).kind is ScopeKind.NODE
+
+    def test_widest_empty_raises(self, machine):
+        with pytest.raises(ValueError):
+            machine.widest([])
+
+    def test_ascii_diagram_mentions_scopes(self, machine):
+        art = machine.ascii_diagram()
+        assert "scope node#0" in art
+        assert "scope numa#" in art
+
+
+# ---------------------------------------------------------------- properties
+
+topologies = st.tuples(
+    st.integers(1, 3),   # nodes
+    st.integers(1, 3),   # sockets/node
+    st.sampled_from([1, 2, 4]),  # cores/socket
+    st.sampled_from([1, 2]),     # smt
+)
+
+
+def _machine(nodes, sockets, cores, smt):
+    caches = [
+        CacheSpec(level=1, size_bytes=1024, line_bytes=64,
+                  associativity=2, latency_cycles=1, shared_cores=1),
+        CacheSpec(level=2, size_bytes=4096, line_bytes=64,
+                  associativity=4, latency_cycles=5, shared_cores=cores),
+    ]
+    return build_machine(
+        n_nodes=nodes, sockets_per_node=sockets, cores_per_socket=cores,
+        smt=smt, caches=caches,
+    )
+
+
+ALL_SPECS = [
+    ScopeSpec(ScopeKind.CORE),
+    ScopeSpec(ScopeKind.CACHE, 1),
+    ScopeSpec(ScopeKind.CACHE, 2),
+    ScopeSpec(ScopeKind.NUMA),
+    ScopeSpec(ScopeKind.NODE),
+]
+
+
+@settings(max_examples=30, deadline=None)
+@given(topologies)
+def test_scope_instances_partition_pus(topo):
+    """Every scope's instances partition the machine's PUs."""
+    m = _machine(*topo)
+    for spec in ALL_SPECS:
+        seen = []
+        for inst in m.scope_instances(spec):
+            seen.extend(m.scope_members(inst))
+        assert sorted(seen) == list(range(m.n_pus))
+
+
+@settings(max_examples=30, deadline=None)
+@given(topologies)
+def test_scope_nesting(topo):
+    """If two PUs share a narrow scope they share every wider scope
+    (core => cache(1) => cache(2) => numa => node)."""
+    m = _machine(*topo)
+    ordered = sorted(ALL_SPECS, key=m.scope_rank)
+    for narrow, wide in zip(ordered, ordered[1:]):
+        for inst in m.scope_instances(narrow):
+            members = m.scope_members(inst)
+            wide_insts = {m.scope_instance(p, wide) for p in members}
+            assert len(wide_insts) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(topologies)
+def test_member_counts_consistent(topo):
+    m = _machine(*topo)
+    node_spec = ScopeSpec(ScopeKind.NODE)
+    for inst in m.scope_instances(node_spec):
+        assert len(m.scope_members(inst)) == m.pus_per_node

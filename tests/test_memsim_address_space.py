@@ -1,0 +1,107 @@
+"""Tests for the simulated address space / allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.address_space import PAGE_SIZE, AddressSpace
+
+
+class TestAlloc:
+    def test_alignment(self):
+        a = AddressSpace()
+        rec = a.alloc(10, align=256)
+        assert rec.addr % 256 == 0
+
+    def test_allocations_do_not_overlap(self):
+        a = AddressSpace()
+        r1 = a.alloc(100)
+        r2 = a.alloc(100)
+        assert r1.end <= r2.addr
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            AddressSpace().alloc(0)
+
+    def test_rejects_non_power_of_two_alignment(self):
+        with pytest.raises(ValueError):
+            AddressSpace().alloc(8, align=3)
+
+    def test_alloc_pages_is_page_aligned(self):
+        a = AddressSpace()
+        a.alloc(7)  # misalign the bump pointer
+        rec = a.alloc_pages(3)
+        assert rec.addr % PAGE_SIZE == 0
+        assert rec.size == 3 * PAGE_SIZE
+
+    def test_kind_and_owner_recorded(self):
+        a = AddressSpace()
+        rec = a.alloc(64, label="eos-table", kind="hls", owner=3)
+        assert rec.label == "eos-table"
+        assert rec.kind == "hls"
+        assert rec.owner == 3
+
+
+class TestFreeAndAccounting:
+    def test_live_bytes_tracks_alloc_free(self):
+        a = AddressSpace()
+        r1 = a.alloc(100)
+        r2 = a.alloc(50)
+        assert a.live_bytes == 150
+        a.free(r1)
+        assert a.live_bytes == 50
+        a.free(r2)
+        assert a.live_bytes == 0
+
+    def test_double_free_raises(self):
+        a = AddressSpace()
+        r = a.alloc(8)
+        a.free(r)
+        with pytest.raises(KeyError):
+            a.free(r)
+
+    def test_peak_live_bytes(self):
+        a = AddressSpace()
+        r = a.alloc(1000)
+        a.free(r)
+        a.alloc(10)
+        assert a.peak_live_bytes == 1000
+
+    def test_live_bytes_by_kind(self):
+        a = AddressSpace()
+        a.alloc(100, kind="app")
+        a.alloc(30, kind="comm")
+        a.alloc(20, kind="comm")
+        assert a.live_bytes_by_kind() == {"app": 100, "comm": 50}
+
+    def test_find(self):
+        a = AddressSpace()
+        r = a.alloc(64)
+        assert a.find(r.addr + 10) is r
+        assert a.find(r.end) is None
+
+
+class TestAllocation:
+    def test_pages_cover_range(self):
+        a = AddressSpace()
+        rec = a.alloc(PAGE_SIZE + 1, align=PAGE_SIZE)
+        assert len(list(rec.pages())) == 2
+
+    def test_contains(self):
+        a = AddressSpace()
+        rec = a.alloc(16)
+        assert rec.contains(rec.addr)
+        assert not rec.contains(rec.addr - 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(1, 10_000), min_size=1, max_size=30))
+def test_property_no_overlap_and_exact_accounting(sizes):
+    a = AddressSpace()
+    recs = [a.alloc(s) for s in sizes]
+    spans = sorted((r.addr, r.end) for r in recs)
+    for (_, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+    assert a.live_bytes == sum(sizes)
+    for r in recs:
+        a.free(r)
+    assert a.live_bytes == 0

@@ -1,0 +1,138 @@
+"""Tests for the set-associative LRU cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.topology import CacheSpec
+from repro.memsim.cache import SetAssociativeCache
+
+
+def make_cache(*, size=1024, line=64, ways=2, level=1):
+    return SetAssociativeCache(
+        CacheSpec(level=level, size_bytes=size, line_bytes=line,
+                  associativity=ways, latency_cycles=1)
+    )
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert c.access(5) is not None   # miss
+        assert c.access(5) is None       # hit
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_eviction_lru(self):
+        # 1024B/64B/2-way -> 8 sets; lines 0, 8, 16 map to set 0.
+        c = make_cache()
+        c.access(0)
+        c.access(8)
+        evicted = c.access(16)
+        assert evicted == 0              # LRU evicted
+        assert c.access(8) is None       # still resident
+        assert c.access(0) is not None   # was evicted
+
+    def test_lru_update_on_hit(self):
+        c = make_cache()
+        c.access(0)
+        c.access(8)
+        c.access(0)                      # 0 becomes MRU
+        evicted = c.access(16)
+        assert evicted == 8
+
+    def test_probe_does_not_touch_lru(self):
+        c = make_cache()
+        c.access(0)
+        c.access(8)
+        assert c.probe(0)
+        c.access(16)
+        assert not c.probe(0)            # 0 was still LRU despite probe
+        h, m = c.hits, c.misses
+        c.probe(8)
+        assert (c.hits, c.misses) == (h, m)
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.access(3)
+        assert c.invalidate(3)
+        assert not c.invalidate(3)
+        assert c.invalidations == 1
+        assert c.access(3) is not None   # re-miss after invalidation
+
+    def test_fill_counts_no_hit_or_miss(self):
+        c = make_cache()
+        c.fill(7)
+        assert (c.hits, c.misses) == (0, 0)
+        assert c.probe(7)
+
+    def test_flush(self):
+        c = make_cache()
+        for ln in range(4):
+            c.access(ln)
+        assert c.flush() == 4
+        assert c.resident_lines() == 0
+
+    def test_different_sets_do_not_conflict(self):
+        c = make_cache()
+        for ln in range(8):              # 8 sets, one line each
+            c.access(ln)
+        for ln in range(8):
+            assert c.access(ln) is None
+
+
+class TestWorkingSets:
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        c = make_cache(size=1024, ways=2)   # 16 lines capacity
+        lines = list(range(16))
+        for ln in lines:
+            c.access(ln)
+        c.reset_stats()
+        for _ in range(3):
+            for ln in lines:
+                assert c.access(ln) is None
+        assert c.misses == 0
+
+    def test_cyclic_overflow_thrashes_lru(self):
+        """A cyclic sweep one line larger than a set's capacity misses
+        every time under LRU."""
+        c = make_cache(size=1024, ways=2)
+        lines = [0, 8, 16]                  # 3 lines, one set, 2 ways
+        for _ in range(5):
+            for ln in lines:
+                c.access(ln)
+        assert c.hits == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=400))
+def test_property_hits_plus_misses_equals_accesses(lines):
+    c = make_cache()
+    for ln in lines:
+        c.access(ln)
+    assert c.hits + c.misses == len(lines)
+    assert c.resident_lines() <= 16
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=300),
+       st.integers(1, 4))
+def test_property_lru_inclusion(trace, factor):
+    """LRU inclusion property: doubling associativity (same #sets via
+    bigger size) never turns a hit into a miss on the same trace."""
+    small = make_cache(size=1024, ways=2)
+    big = make_cache(size=1024 * factor, ways=2 * factor)
+    assert small.spec.n_sets == big.spec.n_sets
+    for ln in trace:
+        s_hit = small.access(ln) is None
+        b_hit = big.access(ln) is None
+        assert not (s_hit and not b_hit)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 300), min_size=1, max_size=300))
+def test_property_resident_after_access(trace):
+    """The most recently accessed line is always resident."""
+    c = make_cache()
+    for ln in trace:
+        c.access(ln)
+        assert c.probe(ln)

@@ -1,0 +1,79 @@
+"""Property-based tests for cache-hierarchy coherence invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import small_test_machine
+from repro.memsim import CacheHierarchy
+
+
+# Random access scripts: (pu, line, is_write)
+scripts = st.lists(
+    st.tuples(
+        st.integers(0, 3),            # pu on the 2x2 test machine
+        st.integers(0, 40),           # line number
+        st.booleans(),                # write?
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scripts)
+def test_property_stats_conservation(script):
+    """hits + remote + mem == accesses, per PU, always."""
+    hier = CacheHierarchy(small_test_machine())
+    counts = [0] * 4
+    for pu, line, write in script:
+        hier._access_line(pu, line, write)
+        counts[pu] += 1
+    stats = hier.stats()
+    assert stats.accesses.tolist() == counts
+    assert stats.writes.sum() == sum(1 for _, _, w in script if w)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scripts)
+def test_property_directory_matches_cache_contents(script):
+    """The line directory and the actual cache contents never diverge."""
+    hier = CacheHierarchy(small_test_machine())
+    for pu, line, write in script:
+        hier._access_line(pu, line, write)
+    for lvl in hier.levels:
+        # every directory entry is really cached
+        for line, holders in hier._dir[lvl].items():
+            for cid in holders:
+                assert hier.caches[lvl][cid].probe(line), (lvl, line, cid)
+        # every cached line is in the directory
+        for cid, cache in enumerate(hier.caches[lvl]):
+            for s in cache._sets:
+                for line in s:
+                    assert cid in hier._dir[lvl].get(line, set()), (lvl, line, cid)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scripts)
+def test_property_single_writer_after_write(script):
+    """Immediately after a write, no *other* instance at any level holds
+    the line (write-invalidate)."""
+    hier = CacheHierarchy(small_test_machine())
+    for pu, line, write in script:
+        hier._access_line(pu, line, write)
+        if write:
+            path = {lvl: cid for lvl, cid, _ in hier._path[pu]}
+            for lvl in hier.levels:
+                holders = hier._dir[lvl].get(line, set())
+                assert holders <= {path[lvl]}, (lvl, line, holders)
+
+
+@settings(max_examples=30, deadline=None)
+@given(scripts)
+def test_property_repeat_access_hits_l1(script):
+    """Accessing the same line twice in a row (same PU, no writes in
+    between by others) always hits L1 the second time."""
+    hier = CacheHierarchy(small_test_machine())
+    for pu, line, write in script:
+        hier._access_line(pu, line, write)
+        assert hier._access_line(pu, line, False) == 1

@@ -1,0 +1,61 @@
+"""Tests for the next-line prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.machine import small_test_machine
+from repro.memsim import CacheHierarchy
+
+
+class TestPrefetcher:
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(small_test_machine(), prefetch_depth=-1)
+
+    def test_stream_miss_rate_halves_with_depth_one(self):
+        base = CacheHierarchy(small_test_machine())
+        pf = CacheHierarchy(small_test_machine(), prefetch_depth=1)
+        lines = np.arange(1000, 1200)
+        base.access_run(0, lines)
+        pf.access_run(0, lines)
+        assert int(pf.stats().mem[0]) == int(base.stats().mem[0]) // 2
+        assert pf.prefetches > 0
+
+    def test_deeper_prefetch_fewer_misses(self):
+        lines = np.arange(2000, 2400)
+        misses = []
+        for depth in (0, 1, 3):
+            h = CacheHierarchy(small_test_machine(), prefetch_depth=depth)
+            h.access_run(0, lines)
+            misses.append(int(h.stats().mem[0]))
+        assert misses[0] > misses[1] > misses[2]
+
+    def test_random_access_barely_helped(self):
+        """Prefetching the next line is useless for uniform random
+        accesses over a large region."""
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 100_000, size=400)
+        base = CacheHierarchy(small_test_machine())
+        pf = CacheHierarchy(small_test_machine(), prefetch_depth=1)
+        base.access_run(0, lines)
+        pf.access_run(0, lines)
+        assert int(pf.stats().mem[0]) >= int(base.stats().mem[0]) * 0.9
+
+    def test_prefetch_not_counted_as_access(self):
+        h = CacheHierarchy(small_test_machine(), prefetch_depth=2)
+        h.access(0, 0x10000)
+        assert h.stats().total_accesses() == 1
+        assert h.prefetches == 2
+
+    def test_prefetched_lines_in_directory(self):
+        h = CacheHierarchy(small_test_machine(), prefetch_depth=1)
+        h.access(0, 64 * 100)
+        assert h.directory_holders(1, 64 * 101) == {0}
+
+    def test_conservation_still_holds(self):
+        h = CacheHierarchy(small_test_machine(), prefetch_depth=2)
+        lines = np.arange(500, 600)
+        h.access_run(0, lines)
+        h.access_run(1, lines)
+        st = h.stats()
+        assert st.total_accesses() == 200

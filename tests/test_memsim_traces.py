@@ -1,0 +1,126 @@
+"""Tests for trace generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim.traces import (
+    blocked_matmul_trace,
+    interleave_round_robin,
+    random_table_trace,
+    stream_lines,
+    stream_trace,
+)
+
+
+class TestRandomTableTrace:
+    def test_in_range(self):
+        rng = np.random.default_rng(0)
+        tr = random_table_trace(0x1000, 64 * 100, 1000, rng)
+        assert tr.min() >= 0x1000 // 64
+        assert tr.max() < 0x1000 // 64 + 100
+
+    def test_length(self):
+        rng = np.random.default_rng(0)
+        assert len(random_table_trace(0, 640, 37, rng)) == 37
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            random_table_trace(0, 0, 10, np.random.default_rng(0))
+
+    def test_roughly_uniform(self):
+        rng = np.random.default_rng(1)
+        tr = random_table_trace(0, 64 * 10, 10_000, rng)
+        counts = np.bincount(tr, minlength=10)
+        assert counts.min() > 700 and counts.max() < 1300
+
+
+class TestStreamTraces:
+    def test_stream_trace_elementwise(self):
+        tr = stream_trace(0, 64 * 2, elem_bytes=8)
+        # 16 elements, 8 per line -> 8 repeats of line 0 then line 1
+        assert list(tr[:8]) == [0] * 8
+        assert list(tr[8:]) == [1] * 8
+
+    def test_stream_lines_one_per_line(self):
+        tr = stream_lines(0, 64 * 5)
+        assert list(tr) == [0, 1, 2, 3, 4]
+
+    def test_stream_lines_partial_last_line(self):
+        tr = stream_lines(0, 65)
+        assert list(tr) == [0, 1]
+
+    def test_stream_trace_respects_base(self):
+        tr = stream_lines(640, 64)
+        assert list(tr) == [10]
+
+
+class TestBlockedMatmul:
+    def test_covers_all_three_matrices(self):
+        n = 16
+        nbytes = n * n * 8
+        tr = blocked_matmul_trace(0, 0x10000, 0x20000, n, block=8)
+        lines = set(tr.tolist())
+        for base in (0, 0x10000, 0x20000):
+            want = set(range(base // 64, (base + nbytes) // 64))
+            assert want <= lines
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            blocked_matmul_trace(0, 0, 0, 0)
+
+    def test_block_larger_than_n_clamped(self):
+        tr = blocked_matmul_trace(0, 0x10000, 0x20000, 4, block=64)
+        assert len(tr) > 0
+
+    def test_trace_length_scales_with_blocks(self):
+        """Each of nb^3 block triples streams one A and one B block, so
+        halving the block size (8x more triples, 4x smaller blocks)
+        roughly doubles A/B traffic."""
+        n = 32
+        t_big = blocked_matmul_trace(0, 1 << 20, 2 << 20, n, block=16)
+        t_small = blocked_matmul_trace(0, 1 << 20, 2 << 20, n, block=8)
+        assert len(t_small) > len(t_big)
+
+
+class TestInterleave:
+    def test_preserves_per_trace_order(self):
+        a = np.arange(10)
+        b = np.arange(100, 105)
+        merged = {0: [], 1: []}
+        for idx, chunk in interleave_round_robin([a, b], chunk=3):
+            merged[idx].extend(chunk.tolist())
+        assert merged[0] == list(range(10))
+        assert merged[1] == list(range(100, 105))
+
+    def test_alternates(self):
+        a = np.zeros(6, dtype=int)
+        b = np.ones(6, dtype=int)
+        order = [idx for idx, _ in interleave_round_robin([a, b], chunk=2)]
+        assert order == [0, 1, 0, 1, 0, 1]
+
+    def test_uneven_lengths(self):
+        a = np.zeros(5, dtype=int)
+        b = np.ones(1, dtype=int)
+        chunks = list(interleave_round_robin([a, b], chunk=2))
+        total = sum(len(c) for _, c in chunks)
+        assert total == 6
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            list(interleave_round_robin([np.arange(3)], chunk=0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 50), min_size=1, max_size=5).map(
+        lambda ls: [np.arange(n) for n in ls]
+    ),
+    st.integers(1, 7),
+)
+def test_property_interleave_is_a_permutation_preserving_order(traces, chunk):
+    out = {i: [] for i in range(len(traces))}
+    for idx, ch in interleave_round_robin(traces, chunk=chunk):
+        out[idx].extend(ch.tolist())
+    for i, tr in enumerate(traces):
+        assert out[i] == tr.tolist()

@@ -1,0 +1,55 @@
+"""Tests for the ASCII line chart."""
+
+import pytest
+
+from repro.metrics import line_chart
+
+
+class TestLineChart:
+    def test_marks_appear(self):
+        out = line_chart([0, 1, 2], {"a": [0, 1, 2], "b": [2, 1, 0]})
+        assert "o" in out and "x" in out
+        assert "o=a" in out and "x=b" in out
+
+    def test_extremes_on_borders(self):
+        out = line_chart([0, 10], {"s": [0.0, 100.0]}, height=8)
+        lines = out.splitlines()
+        assert lines[0].strip().startswith("100.00")
+        assert lines[7].strip().startswith("0.00")
+
+    def test_flat_series_ok(self):
+        out = line_chart([0, 1], {"c": [5.0, 5.0]})
+        assert "c" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"a": [1.0]})
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            line_chart([0], {"a": [1.0]})
+
+    def test_needs_series(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {})
+
+    def test_title_and_ylabel(self):
+        out = line_chart([0, 1], {"a": [0, 1]}, title="T", y_label="gflops")
+        assert out.splitlines()[0] == "T"
+        assert "(y: gflops)" in out
+
+    def test_figure3_render_includes_chart(self):
+        from repro.experiments.figure3 import Figure3Result
+
+        res = Figure3Result(
+            sizes=(8, 16),
+            series={
+                (False, "seq"): [4.0, 4.2],
+                (False, "none"): [4.0, 2.0],
+            },
+        )
+        out = res.render()
+        assert "(chart)" in out
+        assert "sequential" in out
+        out_nochart = res.render(chart=False)
+        assert "(chart)" not in out_nochart

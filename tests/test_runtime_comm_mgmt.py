@@ -1,0 +1,224 @@
+"""Communicator management (dup/split), placement, memory & migration."""
+
+import numpy as np
+import pytest
+
+from repro.machine import core2_cluster, small_test_machine
+from repro.runtime import (
+    MigrationError,
+    MPIError,
+    ProcessRuntime,
+    Runtime,
+)
+
+
+def run(n, main, machine=None, **kw):
+    kw.setdefault("timeout", 5.0)
+    rt = Runtime(machine, n_tasks=n, **kw)
+    return rt, rt.run(main)
+
+
+class TestDupSplit:
+    def test_dup_isolates_messages(self):
+        """A message sent on the dup'ed comm must not match a recv on
+        COMM_WORLD with the same tag."""
+        def main(ctx):
+            c = ctx.comm_world
+            d = c.dup()
+            if ctx.rank == 0:
+                d.send("on-dup", dest=1, tag=1)
+                c.send("on-world", dest=1, tag=1)
+                return None
+            w = c.recv(source=0, tag=1)
+            x = d.recv(source=0, tag=1)
+            return w, x
+
+        _, res = run(2, main)
+        assert res[1] == ("on-world", "on-dup")
+
+    def test_split_even_odd(self):
+        def main(ctx):
+            c = ctx.comm_world
+            sub = c.split(color=ctx.rank % 2)
+            return sub.rank, sub.size, sub.allreduce(ctx.rank)
+
+        _, res = run(6, main)
+        evens = sum(r for r in range(6) if r % 2 == 0)
+        odds = sum(r for r in range(6) if r % 2 == 1)
+        for rank, (sr, ss, total) in enumerate(res):
+            assert ss == 3
+            assert sr == rank // 2
+            assert total == (evens if rank % 2 == 0 else odds)
+
+    def test_split_with_none_color(self):
+        def main(ctx):
+            sub = ctx.comm_world.split(color=None if ctx.rank == 0 else 1)
+            if ctx.rank == 0:
+                return sub
+            return sub.size
+
+        _, res = run(3, main)
+        assert res[0] is None
+        assert res[1] == 2
+
+    def test_split_key_reorders(self):
+        def main(ctx):
+            sub = ctx.comm_world.split(color=0, key=-ctx.rank)
+            return sub.rank
+
+        _, res = run(4, main)
+        assert res == [3, 2, 1, 0]
+
+    def test_split_by_node(self):
+        machine = core2_cluster(2)
+
+        def main(ctx):
+            sub = ctx.comm_world.split_by_node()
+            return ctx.node, sub.size, sub.rank
+
+        _, res = run(16, main, machine=machine)
+        for rank, (node, size, sr) in enumerate(res):
+            assert node == rank // 8
+            assert size == 8
+            assert sr == rank % 8
+
+    def test_world_ranks_of_subcomm(self):
+        def main(ctx):
+            sub = ctx.comm_world.split(color=ctx.rank % 2)
+            return sub.group
+
+        _, res = run(4, main)
+        assert res[0] == (0, 2)
+        assert res[1] == (1, 3)
+
+
+class TestPlacementAndPinning:
+    def test_default_round_robin(self):
+        machine = small_test_machine()  # 4 PUs
+        rt = Runtime(machine, n_tasks=4)
+        assert [rt.task_pu(r) for r in range(4)] == [0, 1, 2, 3]
+
+    def test_explicit_pinning(self):
+        machine = small_test_machine()
+        rt = Runtime(machine, n_tasks=2, pinning=[3, 1])
+        assert rt.task_pu(0) == 3
+        assert rt.task_pu(1) == 1
+
+    def test_bad_pinning_rejected(self):
+        with pytest.raises(MPIError):
+            Runtime(small_test_machine(), n_tasks=2, pinning=[0, 99])
+
+    def test_node_of_on_cluster(self):
+        rt = Runtime(core2_cluster(3), n_tasks=24)
+        assert rt.node_of(0) == 0
+        assert rt.node_of(8) == 1
+        assert rt.node_of(23) == 2
+        assert rt.same_node(0, 7)
+        assert not rt.same_node(7, 8)
+
+    def test_requires_machine_or_ntasks(self):
+        with pytest.raises(MPIError):
+            Runtime()
+
+
+class TestAddressSpaces:
+    def test_thread_backend_shares_node_space(self):
+        rt = Runtime(core2_cluster(2), n_tasks=16)
+        assert rt.shares_address_space(0, 7)
+        assert not rt.shares_address_space(7, 8)
+        assert rt.space_for(0) is rt.space_for(7)
+        assert rt.space_for(0) is not rt.space_for(8)
+
+    def test_process_backend_private_spaces(self):
+        rt = ProcessRuntime(core2_cluster(1), n_tasks=8)
+        assert not rt.shares_address_space(0, 1)
+        assert rt.space_for(0) is not rt.space_for(1)
+
+    def test_ctx_alloc_lands_in_right_space(self):
+        rt = Runtime(core2_cluster(1), n_tasks=8, timeout=5.0)
+
+        def main(ctx):
+            ctx.alloc(1000, label="mine")
+
+        rt.run(main)
+        app = rt.node_space(0).live_bytes_by_kind()["app"]
+        assert app == 8 * 1000
+
+    def test_runtime_memory_mpc_less_than_openmpi(self):
+        """Table II setup: the MPC runtime pools consume less than the
+        Open MPI eager buffers, and the gap grows with job size."""
+        gaps = []
+        for nodes in (4, 16):
+            m = core2_cluster(nodes)
+            n = nodes * 8
+            mpc = Runtime(m, n_tasks=n)
+            omp = ProcessRuntime(m, n_tasks=n)
+            mpc_b = mpc.node_live_bytes(0)
+            omp_b = omp.node_live_bytes(0)
+            assert mpc_b < omp_b
+            gaps.append(omp_b - mpc_b)
+        assert gaps[1] > gaps[0]
+
+    def test_process_backend_copies_intra_node(self):
+        rt = ProcessRuntime(core2_cluster(1), n_tasks=2, timeout=5.0)
+        buf = np.zeros(4)
+
+        def main(ctx):
+            c = ctx.comm_world
+            if ctx.rank == 0:
+                c.send(np.ones(4), dest=1)
+            else:
+                c.recv(source=0, buf=buf)
+
+        rt.run(main)
+        assert rt.stats.send_copies == 1   # copied at sender despite same node
+        assert rt.stats.recv_copies == 1
+
+
+class TestMigration:
+    def test_move_changes_pu(self):
+        rt = Runtime(small_test_machine(), n_tasks=2, timeout=5.0)
+
+        def main(ctx):
+            if ctx.rank == 0:
+                before = ctx.pu
+                ctx.move(3)
+                return before, ctx.pu
+            return None
+
+        res = rt.run(main)
+        assert res[0] == (0, 3)
+
+    def test_move_to_bad_pu(self):
+        rt = Runtime(small_test_machine(), n_tasks=1, timeout=5.0)
+
+        def main(ctx):
+            ctx.move(99)
+
+        with pytest.raises(MigrationError):
+            rt.run(main)
+
+    def test_migration_check_can_veto(self):
+        rt = Runtime(small_test_machine(), n_tasks=1, timeout=5.0)
+
+        def veto(ctx, new_pu):
+            raise MigrationError("counters differ")
+
+        rt.migration_checks.append(veto)
+
+        def main(ctx):
+            ctx.move(1)
+
+        with pytest.raises(MigrationError, match="counters differ"):
+            rt.run(main)
+
+
+class TestResults:
+    def test_results_in_rank_order(self):
+        _, res = run(5, lambda ctx: ctx.rank * 2)
+        assert res == [0, 2, 4, 6, 8]
+
+    def test_flat_default_machine(self):
+        rt = Runtime(n_tasks=3)
+        assert rt.machine.n_pus == 3
+        assert rt.run(lambda ctx: ctx.node) == [0, 0, 0]

@@ -1,0 +1,125 @@
+"""Tests for the extended MPI surface: probe, abort, waitany/testall,
+reduce_scatter."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    AbortError,
+    CountMismatchError,
+    DeadlockError,
+    Request,
+    Runtime,
+    SUM,
+    MAX,
+)
+
+
+def run(n, main, **kw):
+    kw.setdefault("timeout", 5.0)
+    return Runtime(n_tasks=n, **kw).run(main)
+
+
+class TestProbe:
+    def test_blocking_probe_then_recv(self):
+        def main(ctx):
+            c = ctx.comm_world
+            if ctx.rank == 0:
+                c.send("payload", dest=1, tag=7)
+                return None
+            st = c.probe(source=0)
+            assert st.tag == 7
+            assert st.source == 0
+            # message still pending after probe
+            return c.recv(source=st.source, tag=st.tag)
+
+        res = run(2, main)
+        assert res[1] == "payload"
+
+    def test_probe_timeout(self):
+        def main(ctx):
+            if ctx.rank == 1:
+                ctx.comm_world.probe(source=0)
+
+        with pytest.raises(DeadlockError):
+            run(2, main, timeout=0.3)
+
+
+class TestAbort:
+    def test_abort_kills_job(self):
+        def main(ctx):
+            if ctx.rank == 0:
+                ctx.comm_world.abort("fatal input error")
+            ctx.comm_world.recv(source=0)
+
+        with pytest.raises(AbortError, match="fatal input error"):
+            run(2, main, timeout=10.0)
+
+
+class TestRequestSets:
+    def test_waitany_returns_first_ready(self):
+        def main(ctx):
+            c = ctx.comm_world
+            if ctx.rank == 0:
+                reqs = [c.irecv(source=s, tag=s) for s in (1, 2)]
+                idx, val = Request.waitany(reqs)
+                rest = reqs[1 - idx].wait()
+                return sorted([val, rest])
+            c.send(ctx.rank * 10, dest=0, tag=ctx.rank)
+            return None
+
+        res = run(3, main)
+        assert res[0] == [10, 20]
+
+    def test_waitany_empty(self):
+        with pytest.raises(ValueError):
+            Request.waitany([])
+
+    def test_testall(self):
+        def main(ctx):
+            c = ctx.comm_world
+            if ctx.rank == 0:
+                reqs = [c.irecv(source=1, tag=t) for t in (0, 1)]
+                assert not Request.testall(reqs)   # nothing sent yet
+                c.send("go", dest=1)
+                c.recv(source=1, tag=9)            # rendezvous
+                while not Request.testall(reqs):
+                    pass
+                return Request.waitall(reqs)
+            c.recv(source=0)
+            c.send("a", dest=0, tag=0)
+            c.send("b", dest=0, tag=1)
+            c.send("done", dest=0, tag=9)
+            return None
+
+        res = run(2, main)
+        assert res[0] == ["a", "b"]
+
+
+class TestReduceScatter:
+    def test_reduce_scatter_sum(self):
+        def main(ctx):
+            c = ctx.comm_world
+            # rank r contributes [r*10 + j for j in ranks]
+            objs = [ctx.rank * 10 + j for j in range(c.size)]
+            return c.reduce_scatter(objs, SUM)
+
+        res = run(3, main)
+        # rank j receives sum over r of (r*10 + j) = 30 + 3j
+        assert res == [30, 33, 36]
+
+    def test_reduce_scatter_max_arrays(self):
+        def main(ctx):
+            c = ctx.comm_world
+            objs = [np.full(2, float(ctx.rank + j)) for j in range(c.size)]
+            return c.reduce_scatter(objs, MAX).tolist()
+
+        res = run(2, main)
+        assert res == [[1.0, 1.0], [2.0, 2.0]]
+
+    def test_wrong_length(self):
+        def main(ctx):
+            ctx.comm_world.reduce_scatter([1])
+
+        with pytest.raises(CountMismatchError):
+            run(2, main)

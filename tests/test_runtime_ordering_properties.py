@@ -1,0 +1,81 @@
+"""Property tests for message-ordering guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.runtime import ANY_SOURCE, ANY_TAG, Runtime, Status
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(0, 2), min_size=1, max_size=25))
+def test_property_fifo_per_tag(tags):
+    """Messages from one sender are received in send order *per tag*
+    (the MPI non-overtaking rule)."""
+    rt = Runtime(n_tasks=2, timeout=10.0)
+
+    def main(ctx):
+        c = ctx.comm_world
+        if ctx.rank == 0:
+            for i, t in enumerate(tags):
+                c.send((t, i), dest=1, tag=t)
+            return None
+        per_tag = {}
+        for t in sorted(set(tags)):
+            n = tags.count(t)
+            per_tag[t] = [c.recv(source=0, tag=t) for _ in range(n)]
+        return per_tag
+
+    res = rt.run(main)
+    for t, msgs in res[1].items():
+        indices = [i for (tt, i) in msgs]
+        assert indices == sorted(indices)
+        assert all(tt == t for tt, _ in msgs)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(1, 20))
+def test_property_wildcard_recv_total_order_per_source(n_msgs):
+    """ANY_SOURCE/ANY_TAG receives still respect per-sender order."""
+    rt = Runtime(n_tasks=3, timeout=10.0)
+
+    def main(ctx):
+        c = ctx.comm_world
+        if ctx.rank == 0:
+            got = {1: [], 2: []}
+            st_ = Status()
+            for _ in range(2 * n_msgs):
+                val = c.recv(source=ANY_SOURCE, tag=ANY_TAG, status=st_)
+                got[st_.source].append(val)
+            return got
+        for i in range(n_msgs):
+            c.send(i, dest=0, tag=i % 3)
+        return None
+
+    res = rt.run(main)
+    for src in (1, 2):
+        assert res[0][src] == list(range(n_msgs))
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                min_size=1, max_size=12))
+def test_property_collectives_consistent_across_random_pairs(pairs):
+    """Random mixes of allreduce/allgather stay consistent."""
+    rt = Runtime(n_tasks=4, timeout=10.0)
+
+    def main(ctx):
+        c = ctx.comm_world
+        out = []
+        for a, b in pairs:
+            out.append(c.allreduce(ctx.rank * a + b))
+            out.append(tuple(c.allgather(ctx.rank)))
+        return out
+
+    res = rt.run(main)
+    assert all(r == res[0] for r in res)
+    for (a, b), val in zip(pairs, res[0][::2]):
+        assert val == a * 6 + 4 * b

@@ -1,0 +1,106 @@
+"""Unit tests for payload copy policy helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.payload import clone, deliver_into, payload_nbytes, same_buffer
+
+
+class TestClone:
+    def test_ndarray_cloned(self):
+        a = np.arange(4)
+        b = clone(a)
+        b[0] = 99
+        assert a[0] == 0
+
+    def test_immutable_passthrough(self):
+        s = "hello"
+        assert clone(s) is s
+        assert clone(42) == 42
+        assert clone(None) is None
+
+    def test_nested_structures_deep_copied(self):
+        obj = {"a": [1, 2, {"b": 3}]}
+        out = clone(obj)
+        out["a"][2]["b"] = 9
+        assert obj["a"][2]["b"] == 3
+
+
+class TestPayloadNbytes:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abc") == 3
+        assert payload_nbytes("abc") == 3
+
+    def test_containers_sum(self):
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40
+        assert payload_nbytes({"k": np.zeros(4)}) == 32 + 1
+
+    def test_scalar_positive(self):
+        assert payload_nbytes(3.14) > 0
+
+
+class TestSameBuffer:
+    def test_identical_views(self):
+        a = np.arange(10.0)
+        assert same_buffer(a[2:6], a[2:6])
+
+    def test_different_offsets(self):
+        a = np.arange(10.0)
+        assert not same_buffer(a[2:6], a[3:7])
+
+    def test_copy_is_not_same(self):
+        a = np.arange(4.0)
+        assert not same_buffer(a, a.copy())
+
+    def test_non_arrays(self):
+        assert not same_buffer([1, 2], [1, 2])
+
+    def test_dtype_mismatch(self):
+        a = np.zeros(8, dtype=np.float64)
+        assert not same_buffer(a, a.view(np.int64))
+
+
+class TestDeliverInto:
+    def test_copies_into_buffer(self):
+        src = np.arange(4.0)
+        dst = np.zeros(4)
+        out, copied = deliver_into(src, dst)
+        assert copied
+        assert out is dst
+        assert dst.tolist() == [0, 1, 2, 3]
+
+    def test_elides_identical(self):
+        a = np.arange(8.0)
+        view = a[2:5]
+        out, copied = deliver_into(view, view)
+        assert not copied
+        assert out is view
+
+    def test_shape_adapts(self):
+        src = np.arange(4.0).reshape(2, 2)
+        dst = np.zeros(4)
+        out, copied = deliver_into(src, dst)
+        assert copied
+        assert dst.tolist() == [0, 1, 2, 3]
+
+    def test_type_error_for_non_array_buf(self):
+        with pytest.raises(TypeError):
+            deliver_into(np.zeros(2), [0, 0])
+
+    def test_type_error_for_object_payload(self):
+        with pytest.raises(TypeError):
+            deliver_into({"a": 1}, np.zeros(2))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1, max_size=20))
+def test_property_clone_equals_original(values):
+    arr = np.array(values, dtype=np.float64)
+    out = clone(arr)
+    assert (out == arr).all()
+    assert not same_buffer(out, arr)
