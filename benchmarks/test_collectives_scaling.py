@@ -1,0 +1,90 @@
+"""Flat vs hierarchical collectives at 8 / 32 / 128 tasks.
+
+The paper's hierarchical synchronisation argument (section IV-B) applied
+to collectives: with per-scope trees, no episode ever spans the whole
+communicator and most synchronisation happens inside a shared cache or
+NUMA scope.  The metrics counters prove the structural claim; the timer
+shows the wall-clock consequence.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_collectives_scaling.py``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.machine import core2_cluster
+from repro.runtime import SUM, Runtime
+
+ITERS = 5
+PAYLOAD = 128  # doubles per task
+
+
+def _allreduce_job(algorithm, sharing, n_tasks):
+    """ITERS back-to-back allreduces of a PAYLOAD-double array."""
+    machine = core2_cluster(max(1, n_tasks // 8))  # 8 PUs per node
+    rt = Runtime(
+        machine, n_tasks=n_tasks, algorithm=algorithm, sharing=sharing,
+        timeout=120.0,
+    )
+
+    def main(ctx):
+        x = np.full(PAYLOAD, float(ctx.rank))
+        for _ in range(ITERS):
+            x = ctx.comm_world.allreduce(x, SUM) / ctx.size
+        return float(x[0])
+
+    results = rt.run(main)
+    return rt.collective_metrics.snapshot(), results
+
+
+@pytest.mark.parametrize("n_tasks", [8, 32, 128])
+def test_collectives_scaling(benchmark, n_tasks):
+    def job():
+        flat, flat_res = _allreduce_job("flat", "private", n_tasks)
+        hier, hier_res = _allreduce_job("hierarchical", "shared", n_tasks)
+        return flat, flat_res, hier, hier_res
+
+    flat, flat_res, hier, hier_res = run_once(benchmark, job)
+
+    # same answer on every rank, whatever the algorithm
+    assert hier_res == flat_res
+
+    benchmark.extra_info.update(
+        n_tasks=n_tasks,
+        flat_full_comm_episodes=flat["full_comm_episodes"],
+        hier_full_comm_episodes=hier["full_comm_episodes"],
+        flat_clones=flat["clones"],
+        hier_clones=hier["clones"],
+        hier_clones_elided=hier["clones_elided"],
+        hier_episodes_by_level=hier["episodes"],
+    )
+
+    # The structural claim: the hierarchical engine never runs a
+    # full-communicator episode (the flat protocol runs two per op) ...
+    assert flat["full_comm_episodes"] == 2 * ITERS
+    assert hier["full_comm_episodes"] < flat["full_comm_episodes"]
+    assert hier["full_comm_episodes"] == 0
+    # ... and synchronisation moved into cache/NUMA/node scopes
+    assert set(hier["episodes"]) - {"comm"}
+
+    # The zero-copy claim (acceptance threshold is 32+ tasks, where the
+    # job spans several nodes and only same-node deliveries may elide).
+    assert hier["clones"] < flat["clones"]
+    assert hier["clones_elided"] > 0
+
+
+@pytest.mark.parametrize("n_tasks", [32, 128])
+@pytest.mark.parametrize("algorithm", ["flat", "hierarchical"])
+def test_allreduce_wallclock(benchmark, algorithm, n_tasks):
+    """Timer-only companion: one line per (algorithm, n_tasks) cell for
+    side-by-side comparison in the pytest-benchmark table."""
+    metrics, _ = run_once(
+        benchmark, _allreduce_job, algorithm, "private", n_tasks
+    )
+    benchmark.extra_info.update(
+        algorithm=algorithm,
+        n_tasks=n_tasks,
+        full_comm_episodes=metrics["full_comm_episodes"],
+        episodes_by_level=metrics["episodes"],
+    )

@@ -1,0 +1,74 @@
+"""Repo-wide pytest configuration.
+
+Provides a per-test timeout even when the ``pytest-timeout`` plugin is
+not installed: the fallback arms ``SIGALRM`` around each test call and
+fails the test (instead of hanging the whole run) when the budget is
+exceeded.  The runtime's collectives are thread-based, so a lost wakeup
+would otherwise stall CI for the job-level timeout.
+
+The ``timeout`` ini option / ``@pytest.mark.timeout(N)`` marker follow
+pytest-timeout's spelling, so installing the real plugin transparently
+takes over (it registers the option first; the duplicate registration
+below is skipped).
+"""
+
+import signal
+import threading
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    HAVE_PYTEST_TIMEOUT = False
+
+_CAN_ALARM = hasattr(signal, "SIGALRM")
+
+
+def pytest_addoption(parser):
+    if not HAVE_PYTEST_TIMEOUT:
+        try:
+            parser.addini(
+                "timeout",
+                "per-test timeout in seconds (fallback SIGALRM enforcement)",
+                default="0",
+            )
+        except ValueError:
+            pass  # already registered
+
+
+def _budget_for(item):
+    marker = item.get_closest_marker("timeout")
+    if marker and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (ValueError, KeyError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    budget = 0.0
+    if (
+        not HAVE_PYTEST_TIMEOUT
+        and _CAN_ALARM
+        and threading.current_thread() is threading.main_thread()
+    ):
+        budget = _budget_for(item)
+    if budget <= 0:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded the {budget:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, budget)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,6 +1,7 @@
 """Measurement and reporting: memory sampling, efficiency, paper tables."""
 
 from repro.metrics.memory import MemorySampler, MemoryReport
+from repro.metrics.collectives import CollectiveMetrics
 from repro.metrics.perf import parallel_efficiency, relative_performance
 from repro.metrics.report import Table, format_mb
 from repro.metrics.ascii_plot import line_chart
@@ -8,6 +9,7 @@ from repro.metrics.ascii_plot import line_chart
 __all__ = [
     "MemorySampler",
     "MemoryReport",
+    "CollectiveMetrics",
     "parallel_efficiency",
     "relative_performance",
     "Table",

@@ -1,0 +1,85 @@
+"""Collective-operation counters.
+
+The hierarchical collectives engine is a performance claim; these
+counters make it observable.  A *barrier episode* is one completion of
+one shared arrival counter: the flat algorithm completes two episodes
+spanning the whole communicator per data collective, the hierarchical
+algorithm completes one small episode per tree node.  ``clones`` counts
+payload copies actually performed; ``clones_elided`` counts copies
+skipped by the zero-copy fast path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+from repro.metrics.report import Table
+
+
+class CollectiveMetrics:
+    """Aggregated counters for one runtime's collectives (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: completed barrier episodes per tree level ("comm" = flat)
+        self.episodes: Dict[str, int] = {}
+        #: episodes where every communicator member hit one shared counter
+        self.full_comm_episodes = 0
+        #: payload clones actually performed (copies of mutable payloads)
+        self.clones = 0
+        #: clones skipped by the zero-copy fast path
+        self.clones_elided = 0
+
+    # ------------------------------------------------------------- recording
+    def note_episode(self, label: str, arity: int, comm_size: int) -> None:
+        with self._lock:
+            self.episodes[label] = self.episodes.get(label, 0) + 1
+            if arity == comm_size and comm_size > 1:
+                self.full_comm_episodes += 1
+
+    def note_clone(self) -> None:
+        with self._lock:
+            self.clones += 1
+
+    def note_elision(self) -> None:
+        with self._lock:
+            self.clones_elided += 1
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def total_episodes(self) -> int:
+        return sum(self.episodes.values())
+
+    @property
+    def group_episodes(self) -> int:
+        """Episodes on sub-communicator-sized (scope-local) counters."""
+        return self.total_episodes - self.full_comm_episodes
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "episodes": dict(self.episodes),
+                "full_comm_episodes": self.full_comm_episodes,
+                "clones": self.clones,
+                "clones_elided": self.clones_elided,
+            }
+
+    def render(self) -> str:
+        table = Table(["counter", "value"], title="collective metrics")
+        for label in sorted(self.episodes):
+            table.add_row(f"episodes[{label}]", self.episodes[label])
+        table.add_row("full-comm episodes", self.full_comm_episodes)
+        table.add_row("clones", self.clones)
+        table.add_row("clones elided", self.clones_elided)
+        return table.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CollectiveMetrics(episodes={self.episodes}, "
+            f"full_comm={self.full_comm_episodes}, clones={self.clones}, "
+            f"elided={self.clones_elided})"
+        )
+
+
+__all__ = ["CollectiveMetrics"]

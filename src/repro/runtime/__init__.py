@@ -28,6 +28,7 @@ from repro.runtime.errors import (
 from repro.runtime.message import ANY_SOURCE, ANY_TAG, Status
 from repro.runtime.ops import LAND, LOR, MAX, MIN, PROD, SUM
 from repro.runtime.request import Request
+from repro.runtime.collectives import CollectiveState, HierarchicalCollectiveState
 from repro.runtime.communicator import Comm
 from repro.runtime.task import TaskContext
 from repro.runtime.runtime import CommStats, Runtime
@@ -49,6 +50,8 @@ __all__ = [
     "LAND",
     "LOR",
     "Request",
+    "CollectiveState",
+    "HierarchicalCollectiveState",
     "Comm",
     "TaskContext",
     "Runtime",

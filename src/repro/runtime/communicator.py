@@ -39,7 +39,7 @@ class Comm:
         self.group = group            # comm rank -> world rank
         self.rank = rank              # this task's rank in the comm
         self._world_to_comm: Dict[int, int] = {w: c for c, w in enumerate(group)}
-        self._coll = runtime.collective_state(context, len(group))
+        self._coll = runtime.collective_state(context, group)
         self._epoch = 0               # per-task count of collectives on this comm
 
     # ------------------------------------------------------------------ shape
@@ -188,7 +188,7 @@ class Comm:
 
     def barrier(self) -> None:
         self._collective("barrier")
-        self._coll.barrier()
+        self._coll.barrier(self.rank)
 
     def bcast(self, obj: Any = None, root: int = 0) -> Any:
         self._collective("bcast")

@@ -27,6 +27,14 @@ def clone(obj: Any) -> Any:
     return copy.deepcopy(obj)
 
 
+def clone_would_copy(obj: Any) -> bool:
+    """True when :func:`clone` would materialise a new object (i.e. the
+    payload is mutable); immutable payloads are shared for free."""
+    return not isinstance(
+        obj, (bytes, str, int, float, complex, bool, type(None))
+    )
+
+
 def payload_nbytes(obj: Any) -> int:
     """Approximate wire size of a payload."""
     if isinstance(obj, np.ndarray):
@@ -72,4 +80,10 @@ def deliver_into(payload: Any, buf: Any) -> tuple[Any, bool]:
     )
 
 
-__all__ = ["clone", "payload_nbytes", "same_buffer", "deliver_into"]
+__all__ = [
+    "clone",
+    "clone_would_copy",
+    "payload_nbytes",
+    "same_buffer",
+    "deliver_into",
+]

@@ -35,6 +35,8 @@ class ProcessRuntime(Runtime):
     backend_name = "openmpi-process"
     copy_at_send_intra_node = True
     shared_node_address_space = False
+    #: no shared address space -> the flat copying collective path
+    collective_algorithm = "flat"
 
     # Aggressive eager-buffer policy, *per process*: base pool, a
     # per-total-rank table, and lazily allocated per-connection eager
@@ -45,6 +47,13 @@ class ProcessRuntime(Runtime):
     EAGER_PER_CONNECTION = 256 << 10
 
     def __init__(self, *args, **kwargs) -> None:
+        if kwargs.get("sharing") == "shared":
+            from repro.runtime.errors import MPIError
+
+            raise MPIError(
+                "the process backend has no shared address space: "
+                "zero-copy collective sharing is unavailable"
+            )
         self._task_spaces: Dict[int, AddressSpace] = {}
         super().__init__(*args, **kwargs)
 

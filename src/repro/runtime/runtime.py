@@ -24,8 +24,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.machine.topology import Machine, build_machine
+from repro.machine.treemap import collective_levels
 from repro.memsim.address_space import AddressSpace
-from repro.runtime.collectives import CollectiveState
+from repro.metrics.collectives import CollectiveMetrics
+from repro.runtime.collectives import CollectiveState, HierarchicalCollectiveState
 from repro.runtime.communicator import Comm
 from repro.runtime.errors import AbortError, MPIError
 from repro.runtime.message import Envelope, Mailbox
@@ -68,6 +70,10 @@ class Runtime:
     copy_at_send_intra_node = False
     #: do tasks on the same node share an address space?
     shared_node_address_space = True
+    #: default collective algorithm ("flat" | "hierarchical"); the
+    #: thread backend exploits the topology, the process baseline keeps
+    #: the flat copying path
+    collective_algorithm = "hierarchical"
 
     # Comm-buffer memory model (bytes), calibrated against Table II's
     # "MPC consumes between 100 and 300MB less memory than Open MPI and
@@ -87,7 +93,16 @@ class Runtime:
         *,
         timeout: float = 30.0,
         pinning: Optional[Sequence[int]] = None,
+        algorithm: Optional[str] = None,
+        sharing: str = "private",
     ) -> None:
+        if algorithm is not None:
+            if algorithm not in ("flat", "hierarchical"):
+                raise MPIError(f"unknown collective algorithm {algorithm!r}")
+            self.collective_algorithm = algorithm
+        if sharing not in ("private", "shared"):
+            raise MPIError(f"unknown collective sharing policy {sharing!r}")
+        self.collective_sharing = sharing
         if machine is None:
             if n_tasks is None:
                 raise MPIError("provide a machine, n_tasks, or both")
@@ -120,6 +135,8 @@ class Runtime:
         self._coll_lock = threading.Lock()
         self._world_context = self.alloc_context()
         self.stats = CommStats()
+        self.collective_metrics = CollectiveMetrics()
+        self._pin_version = 0
         self._stats_lock = threading.Lock()
         self.tracer: Optional[Any] = None
         self.migration_checks: List[Callable[[TaskContext, int], None]] = []
@@ -134,6 +151,7 @@ class Runtime:
 
     def set_task_pu(self, rank: int, pu: int) -> None:
         self._pin[rank] = pu
+        self._pin_version += 1
         for hook in self.post_move_hooks:
             hook(rank, pu)
 
@@ -191,13 +209,38 @@ class Runtime:
             self._contexts += 1
             return self._contexts
 
-    def collective_state(self, context: int, size: int) -> CollectiveState:
+    def _collective_share_check(self) -> Optional[Callable[[int, int], bool]]:
+        """The zero-copy legality predicate, or None when the sharing
+        policy forbids by-reference collective payloads."""
+        if self.collective_sharing != "shared":
+            return None
+        return self.shares_address_space
+
+    def collective_state(self, context: int, group) -> CollectiveState:
+        """The shared collective engine of one communicator.  ``group``
+        is the comm-rank -> world-rank tuple (a bare int is accepted as
+        a size for contiguous world-rank groups)."""
+        if isinstance(group, int):
+            group = tuple(range(group))
+        size = len(group)
         with self._coll_lock:
             st = self._coll_states.get(context)
             if st is None:
-                st = CollectiveState(
-                    size, self.abort_flag, timeout=self.timeout, clone=clone
-                )
+                if self.collective_algorithm == "hierarchical":
+                    levels = collective_levels(
+                        self.machine, [self._pin[w] for w in group]
+                    )
+                    st = HierarchicalCollectiveState(
+                        size, self.abort_flag, timeout=self.timeout,
+                        clone=clone, metrics=self.collective_metrics,
+                        levels=levels, group=tuple(group),
+                        share=self._collective_share_check(),
+                    )
+                else:
+                    st = CollectiveState(
+                        size, self.abort_flag, timeout=self.timeout,
+                        clone=clone, metrics=self.collective_metrics,
+                    )
                 self._coll_states[context] = st
             elif st.size != size:
                 raise MPIError(

@@ -1,0 +1,122 @@
+"""Unit tests for the communicator -> memory-hierarchy tree mapping."""
+
+import pytest
+
+from repro.machine import (
+    build_machine,
+    core2_cluster,
+    nehalem_ex_node,
+    small_test_machine,
+)
+from repro.machine.treemap import TreeLevel, collective_levels
+
+
+def level_labels(levels):
+    return [lv.label for lv in levels]
+
+
+class TestChainStructure:
+    def test_last_level_spans_communicator(self):
+        for machine in (
+            small_test_machine(n_nodes=2),
+            core2_cluster(2),
+            nehalem_ex_node(),
+        ):
+            n = machine.n_pus
+            levels = collective_levels(machine, list(range(n)))
+            assert len(levels[-1].groups) == 1
+            assert levels[-1].groups[0] == tuple(range(n))
+
+    def test_every_level_partitions_all_ranks(self):
+        machine = core2_cluster(4)
+        n = machine.n_pus
+        levels = collective_levels(machine, list(range(n)))
+        for lv in levels:
+            seen = sorted(r for g in lv.groups for r in g)
+            assert seen == list(range(n)), lv.label
+
+    def test_each_level_strictly_coarsens(self):
+        machine = core2_cluster(4)
+        n = machine.n_pus
+        levels = collective_levels(machine, list(range(n)))
+        prev = [frozenset([r]) for r in range(n)]
+        for lv in levels:
+            cur = [frozenset(g) for g in lv.groups]
+            assert len(cur) < len(prev), f"{lv.label} groups nothing new"
+            for small in prev:
+                assert any(small <= big for big in cur), \
+                    f"{lv.label} splits a {small} group"
+            prev = cur
+
+    def test_core2_chain_shape(self):
+        """Core2 cluster: private L1 degenerates away, pairs share L2,
+        4 cores per socket (numa), 8 per node."""
+        machine = core2_cluster(2)
+        levels = collective_levels(machine, list(range(16)))
+        assert level_labels(levels) == ["cache2", "numa", "node", "comm"]
+        assert [lv.n_groups for lv in levels] == [8, 4, 2, 1]
+        assert levels[0].groups[0] == (0, 1)
+
+    def test_nehalem_chain_shape(self):
+        """Nehalem-EX node: L1/L2 private (degenerate), L3 == socket ==
+        numa (the coinciding-scope property of section V-A), so only the
+        L3 level survives below the single-node root (labelled with its
+        real scope, ``node``)."""
+        machine = nehalem_ex_node()
+        levels = collective_levels(machine, list(range(32)))
+        assert level_labels(levels) == ["cache3", "node"]
+        assert [lv.n_groups for lv in levels] == [4, 1]
+
+    def test_cacheless_machine_degenerates_to_single_level(self):
+        """One socket, no caches: the first non-degenerate scope (numa)
+        already spans everything, so the chain is a single flat level —
+        the hierarchical engine collapses to the flat protocol's shape."""
+        machine = build_machine(
+            n_nodes=1, sockets_per_node=1, cores_per_socket=8, caches=(),
+            name="flat",
+        )
+        levels = collective_levels(machine, list(range(8)))
+        assert len(levels) == 1
+        assert levels[0].groups == (tuple(range(8)),)
+
+
+class TestPinningAware:
+    def test_groups_follow_pinning_not_rank_order(self):
+        """Ranks pinned round-robin across nodes: node groups interleave."""
+        machine = small_test_machine(n_nodes=2)  # 8 PUs, 4 per node
+        pus = [0, 4, 1, 5, 2, 6, 3, 7]          # even ranks node0, odd node1
+        levels = collective_levels(machine, pus)
+        node_level = next(lv for lv in levels if lv.label == "node")
+        assert node_level.groups == ((0, 2, 4, 6), (1, 3, 5, 7))
+
+    def test_subset_communicator(self):
+        """A communicator over a subset of PUs still chains correctly."""
+        machine = core2_cluster(2)
+        pus = [0, 1, 8, 9]  # one L2 pair per node
+        levels = collective_levels(machine, pus)
+        assert level_labels(levels) == ["cache2", "comm"]
+        assert levels[0].groups == ((0, 1), (2, 3))
+
+    def test_oversubscribed_core(self):
+        """Several ranks pinned to one PU share the innermost group."""
+        machine = small_test_machine(n_nodes=1)
+        pus = [0, 0, 1, 1]
+        levels = collective_levels(machine, pus)
+        assert levels[0].label == "core"
+        assert levels[0].groups == ((0, 1), (2, 3))
+
+    def test_single_rank(self):
+        machine = core2_cluster(1)
+        levels = collective_levels(machine, [3])
+        assert levels == [TreeLevel("comm", ((0,),))]
+
+
+class TestValidation:
+    def test_empty_communicator_rejected(self):
+        with pytest.raises(ValueError):
+            collective_levels(core2_cluster(1), [])
+
+    def test_unknown_pu_rejected(self):
+        machine = core2_cluster(1)  # 8 PUs
+        with pytest.raises(ValueError):
+            collective_levels(machine, [0, 99])

@@ -1,0 +1,83 @@
+"""Unit tests for the collective-operation counters."""
+
+import threading
+
+from repro.metrics import CollectiveMetrics
+
+
+class TestCounting:
+    def test_starts_at_zero(self):
+        m = CollectiveMetrics()
+        assert m.snapshot() == {
+            "episodes": {},
+            "full_comm_episodes": 0,
+            "clones": 0,
+            "clones_elided": 0,
+        }
+
+    def test_full_comm_episode_requires_full_arity(self):
+        m = CollectiveMetrics()
+        m.note_episode("comm", 8, 8)     # whole communicator on one counter
+        m.note_episode("node", 4, 8)     # scope-local group
+        m.note_episode("cache2", 2, 8)
+        assert m.full_comm_episodes == 1
+        assert m.group_episodes == 2
+        assert m.total_episodes == 3
+        assert m.episodes == {"comm": 1, "node": 1, "cache2": 1}
+
+    def test_size_one_communicator_is_never_full_comm(self):
+        m = CollectiveMetrics()
+        m.note_episode("comm", 1, 1)
+        assert m.full_comm_episodes == 0
+        assert m.total_episodes == 1
+
+    def test_clone_and_elision_counters(self):
+        m = CollectiveMetrics()
+        for _ in range(3):
+            m.note_clone()
+        m.note_elision()
+        snap = m.snapshot()
+        assert snap["clones"] == 3
+        assert snap["clones_elided"] == 1
+
+    def test_snapshot_is_detached(self):
+        m = CollectiveMetrics()
+        m.note_episode("node", 2, 4)
+        snap = m.snapshot()
+        m.note_episode("node", 2, 4)
+        assert snap["episodes"] == {"node": 1}
+        assert m.episodes == {"node": 2}
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        m = CollectiveMetrics()
+        n_threads, iters = 8, 500
+
+        def body():
+            for _ in range(iters):
+                m.note_episode("cache2", 2, 16)
+                m.note_clone()
+                m.note_elision()
+
+        ts = [threading.Thread(target=body) for _ in range(n_threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert m.episodes["cache2"] == n_threads * iters
+        assert m.clones == n_threads * iters
+        assert m.clones_elided == n_threads * iters
+
+
+class TestRendering:
+    def test_render_mentions_every_counter(self):
+        m = CollectiveMetrics()
+        m.note_episode("numa", 4, 8)
+        m.note_episode("comm", 8, 8)
+        m.note_clone()
+        text = m.render()
+        assert "episodes[numa]" in text
+        assert "episodes[comm]" in text
+        assert "full-comm episodes" in text
+        assert "clones" in text

@@ -133,3 +133,75 @@ class TestBlackboardReuse:
         expect = [4 * i + 6 for i in range(25)]
         for r in range(4):
             assert results[r] == expect
+
+
+class TestTimeoutAccounting:
+    """The barrier deadline is monotonic-clock based and extended on
+    progress: a slow-but-progressing barrier must never spuriously raise
+    DeadlockError; only a genuinely stalled one does."""
+
+    def test_slow_but_progressing_barrier_does_not_timeout(self):
+        import time
+
+        # Total wall time (0.5s) exceeds the per-gap timeout (0.3s), but
+        # each arrival lands within 0.3s of the previous one.
+        st = make_state(3, timeout=0.3)
+
+        def body(rank):
+            time.sleep(0.22 * rank)
+            st.barrier(rank)
+
+        assert not run_threads(3, body)
+        assert st.barriers == 1
+
+    def test_slow_but_progressing_allreduce_does_not_timeout(self):
+        import time
+
+        st = make_state(4, timeout=0.3)
+        out = {}
+
+        def body(rank):
+            time.sleep(0.2 * rank)
+            out[rank] = st.allreduce(rank, rank, lambda a, b: a + b)
+
+        assert not run_threads(4, body)
+        assert set(out.values()) == {6}
+
+    def test_stalled_barrier_still_times_out_quickly(self):
+        import time
+
+        st = make_state(3, timeout=0.3)
+        t0 = time.monotonic()
+        errs = run_threads(2, lambda r: st.barrier(r))
+        assert errs and all(isinstance(e, DeadlockError) for e in errs)
+        # the deadline must not grow without progress
+        assert time.monotonic() - t0 < 5.0
+
+    def test_hierarchical_progress_extends_deadline(self):
+        """Progress anywhere in the tree resets the deadline, even for a
+        task waiting at a different tree node."""
+        import time
+
+        from repro.machine import small_test_machine
+        from repro.machine.treemap import collective_levels
+        from repro.runtime.collectives import HierarchicalCollectiveState
+
+        machine = small_test_machine(n_nodes=2)  # 8 PUs, 2 per cache group
+        size = 8
+        st = HierarchicalCollectiveState(
+            size,
+            threading.Event(),
+            timeout=0.4,
+            clone=clone,
+            levels=collective_levels(machine, list(range(size))),
+        )
+        out = {}
+
+        def body(rank):
+            # one straggler per arrival wave; every wave lands within
+            # the timeout of the previous one but the total exceeds it
+            time.sleep(0.15 * rank)
+            out[rank] = st.allreduce(rank, rank, lambda a, b: a + b)
+
+        assert not run_threads(size, body)
+        assert set(out.values()) == {sum(range(size))}

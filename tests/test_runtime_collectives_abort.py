@@ -1,0 +1,177 @@
+"""Abort propagation through collectives.
+
+An ``abort()`` fired while peers are blocked inside a collective must
+wake every one of them with :class:`AbortError` -- including tasks that
+are parked at *different levels* of the hierarchical reduction tree
+(leaf winners waiting at an upper node, losers waiting at their leaf).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.machine import core2_cluster, small_test_machine
+from repro.machine.treemap import collective_levels
+from repro.runtime import AbortError, Runtime, SUM
+from repro.runtime.collectives import (
+    CollectiveState,
+    HierarchicalCollectiveState,
+)
+from repro.runtime.payload import clone
+
+ALGOS = ["flat", "hierarchical"]
+
+
+def _make_state(state_cls, machine, size, abort_flag, timeout=30.0):
+    kwargs = dict(timeout=timeout, clone=clone)
+    if state_cls is HierarchicalCollectiveState:
+        kwargs["levels"] = collective_levels(machine, list(range(size)))
+    return state_cls(size, abort_flag, **kwargs)
+
+
+@pytest.mark.parametrize("state_cls", [CollectiveState, HierarchicalCollectiveState])
+def test_abort_wakes_tasks_at_every_tree_level(state_cls):
+    """15 of 16 ranks enter an allreduce; the missing straggler means
+    some ranks have already won their leaf/cache/numa round and are
+    blocked higher up the tree.  Setting the abort flag must wake all
+    15, whatever node they are parked at."""
+    machine = core2_cluster(2)
+    size = 16
+    abort_flag = threading.Event()
+    state = _make_state(state_cls, machine, size, abort_flag)
+
+    outcomes = {}
+
+    def body(rank):
+        try:
+            state.allreduce(rank, rank, SUM)
+            outcomes[rank] = "returned"
+        except AbortError:
+            outcomes[rank] = "aborted"
+        except Exception as exc:  # pragma: no cover - failure path
+            outcomes[rank] = exc
+
+    threads = [
+        threading.Thread(target=body, args=(r,)) for r in range(size - 1)
+    ]  # rank 15 never shows up
+    for t in threads:
+        t.start()
+    time.sleep(0.3)  # let everyone park somewhere in the tree
+    abort_flag.set()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert not any(t.is_alive() for t in threads), "abort failed to wake a task"
+    assert outcomes == {r: "aborted" for r in range(size - 1)}
+
+
+@pytest.mark.parametrize("state_cls", [CollectiveState, HierarchicalCollectiveState])
+def test_abort_wakes_barrier_waiters(state_cls):
+    machine = small_test_machine(n_nodes=2)
+    size = 8
+    abort_flag = threading.Event()
+    state = _make_state(state_cls, machine, size, abort_flag)
+
+    hits = []
+
+    def body(rank):
+        with pytest.raises(AbortError):
+            state.barrier(rank)
+        hits.append(rank)
+
+    threads = [threading.Thread(target=body, args=(r,)) for r in range(size - 1)]
+    for t in threads:
+        t.start()
+    time.sleep(0.2)
+    abort_flag.set()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert sorted(hits) == list(range(size - 1))
+
+
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_comm_abort_mid_collective(algorithm):
+    """End-to-end through the Runtime: one task calls Comm.abort while
+    all the others are inside an allreduce; every task terminates and
+    the run reports the abort."""
+    machine = core2_cluster(2)
+    n = 16
+
+    def main(ctx):
+        if ctx.rank == 5:
+            time.sleep(0.2)
+            ctx.comm_world.abort("task 5 gave up")
+        return ctx.comm_world.allreduce(1)
+
+    rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0)
+    t0 = time.monotonic()
+    with pytest.raises(AbortError):
+        rt.run(main)
+    # every worker actually woke (rt.run joins them); it must have been
+    # the abort, not the 30s deadlock timeout, that ended the run
+    assert time.monotonic() - t0 < 20.0
+
+
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_comm_abort_mid_subcomm_collective(algorithm):
+    """Abort raised inside a split sub-communicator must still tear down
+    tasks blocked on the *world* communicator."""
+    machine = small_test_machine(n_nodes=2)
+    n = 8
+
+    def main(ctx):
+        sub = ctx.comm_world.split(ctx.rank % 2, key=ctx.rank)
+        if ctx.rank == 3:
+            time.sleep(0.2)
+            sub.abort("sub-communicator failure")
+        if ctx.rank % 2 == 1:
+            return sub.allreduce(ctx.rank)
+        return ctx.comm_world.allreduce(ctx.rank)
+
+    rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0)
+    t0 = time.monotonic()
+    with pytest.raises(AbortError):
+        rt.run(main)
+    assert time.monotonic() - t0 < 20.0
+
+
+def test_peer_failure_inside_tree_poisons_waiters():
+    """If the winning task's fold blows up at the tree root, every
+    waiting peer must get an AbortError rather than hang (the poison
+    release path)."""
+    machine = small_test_machine(n_nodes=2)
+    size = 8
+    abort_flag = threading.Event()
+    state = _make_state(
+        HierarchicalCollectiveState, machine, size, abort_flag
+    )
+
+    class Boom(RuntimeError):
+        pass
+
+    def bad_add(a, b):
+        raise Boom("op failure")
+
+    outcomes = {}
+
+    def body(rank):
+        try:
+            state.allreduce(rank, rank, bad_add)
+            outcomes[rank] = "returned"
+        except Boom:
+            outcomes[rank] = "boom"
+        except AbortError:
+            outcomes[rank] = "aborted"
+
+    threads = [threading.Thread(target=body, args=(r,)) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert not any(t.is_alive() for t in threads), "poison failed to wake a task"
+    # exactly one task (the root winner) sees the original exception;
+    # everyone else gets AbortError
+    assert sorted(outcomes) == list(range(size))
+    vals = list(outcomes.values())
+    assert vals.count("boom") == 1
+    assert vals.count("aborted") == size - 1

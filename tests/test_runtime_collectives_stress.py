@@ -1,0 +1,181 @@
+"""Stress / interleaving tests for concurrent collectives.
+
+These hammer the generation counters and per-generation release slots of
+both collective engines: several communicators derived from the same
+world run simultaneous, back-to-back collectives from overlapping rank
+sets.  A lost wakeup or a generation mix-up shows up as a wrong value or
+a :class:`DeadlockError` within the runtime timeout.
+
+Marked ``stress``: CI reruns this module several times to surface flaky
+interleavings.
+"""
+
+import threading
+
+import pytest
+
+from repro.machine import core2_cluster, small_test_machine
+from repro.runtime import Runtime, SUM
+from repro.runtime.collectives import (
+    CollectiveState,
+    HierarchicalCollectiveState,
+)
+from repro.runtime.payload import clone
+from repro.machine.treemap import collective_levels
+
+pytestmark = pytest.mark.stress
+
+ALGOS = ["flat", "hierarchical"]
+
+
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_split_with_concurrent_subcomm_allreduce(algorithm):
+    """Two colour groups run different allreduce streams concurrently,
+    periodically joining a world-wide collective."""
+    machine = core2_cluster(2)
+    n = 16
+    reps = 12
+
+    def main(ctx):
+        w = ctx.comm_world
+        color = ctx.rank % 2
+        sub = w.split(color, key=ctx.rank)
+        out = []
+        for i in range(reps):
+            # the two colour groups intentionally feed different values
+            out.append(sub.allreduce((color + 1) * (i + 1)))
+            if i % 3 == 0:
+                out.append(w.allreduce(ctx.rank * i))
+        return color, out
+
+    for _ in range(3):
+        rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0)
+        results = rt.run(main)
+        world_sum_base = sum(range(n))
+        for rank, (color, out) in enumerate(results):
+            expect = []
+            for i in range(reps):
+                expect.append((color + 1) * (i + 1) * (n // 2))
+                if i % 3 == 0:
+                    expect.append(world_sum_base * i)
+            assert out == expect, f"rank {rank} (color {color})"
+
+
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_nested_overlapping_communicators(algorithm):
+    """world + dup + node-split + parity-split all active at once, with
+    different collective streams interleaved on each."""
+    machine = small_test_machine(n_nodes=2)  # 8 PUs
+    n = 8
+
+    def main(ctx):
+        w = ctx.comm_world
+        d = w.dup()
+        node = w.split_by_node()
+        parity = w.split(ctx.rank % 2, key=ctx.rank)
+        out = []
+        for i in range(10):
+            out.append(node.allreduce(i + ctx.rank))
+            out.append(parity.allgather(ctx.rank))
+            out.append(d.allreduce(1))
+            out.append(w.scan(1))
+        return out
+
+    rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0)
+    results = rt.run(main)
+    evens = [r for r in range(n) if r % 2 == 0]
+    odds = [r for r in range(n) if r % 2 == 1]
+    for rank, out in enumerate(results):
+        node_peers = [r for r in range(n) if r // 4 == rank // 4]
+        expect = []
+        for i in range(10):
+            expect.append(sum(i + r for r in node_peers))
+            expect.append(evens if rank % 2 == 0 else odds)
+            expect.append(n)
+            expect.append(rank + 1)
+        assert out == expect, f"rank {rank}"
+
+
+@pytest.mark.parametrize("state_cls", [CollectiveState, HierarchicalCollectiveState])
+def test_back_to_back_barrier_storm(state_cls):
+    """Raw-state hammer: many threads issue hundreds of back-to-back
+    barriers with no delay, the classic trap for generation counters."""
+    machine = core2_cluster(2)
+    size = 16
+    iters = 200
+    kwargs = dict(timeout=30.0, clone=clone)
+    if state_cls is HierarchicalCollectiveState:
+        kwargs["levels"] = collective_levels(machine, list(range(size)))
+    state = state_cls(size, threading.Event(), **kwargs)
+
+    errors = []
+
+    def body(rank):
+        try:
+            for _ in range(iters):
+                state.barrier(rank)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((rank, exc))
+
+    threads = [threading.Thread(target=body, args=(r,)) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads), "barrier storm hung"
+    assert errors == []
+
+
+@pytest.mark.parametrize("state_cls", [CollectiveState, HierarchicalCollectiveState])
+def test_back_to_back_allreduce_storm(state_cls):
+    """Same, but with data flowing: the i-th allreduce result must never
+    leak into the (i+1)-th even when fast ranks lap slow ones."""
+    machine = core2_cluster(2)
+    size = 16
+    iters = 100
+    kwargs = dict(timeout=30.0, clone=clone)
+    if state_cls is HierarchicalCollectiveState:
+        kwargs["levels"] = collective_levels(machine, list(range(size)))
+    state = state_cls(size, threading.Event(), **kwargs)
+
+    errors = []
+
+    def body(rank):
+        try:
+            for i in range(iters):
+                got = state.allreduce(rank, rank * (i + 1), SUM)
+                want = (i + 1) * sum(range(size))
+                assert got == want, f"iter {i}: {got} != {want}"
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((rank, exc))
+
+    threads = [threading.Thread(target=body, args=(r,)) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads), "allreduce storm hung"
+    assert errors == []
+
+
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_disjoint_subcomms_never_couple(algorithm):
+    """Collectives on disjoint split halves must not synchronise with
+    each other: one half runs 3x as many ops as the other and both
+    finish within the timeout."""
+    machine = core2_cluster(2)
+    n = 16
+
+    def main(ctx):
+        half = ctx.comm_world.split(ctx.rank // (n // 2), key=ctx.rank)
+        reps = 30 if ctx.rank < n // 2 else 10
+        acc = 0
+        for i in range(reps):
+            acc += half.allreduce(i)
+        return acc
+
+    rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0)
+    results = rt.run(main)
+    lo = sum(i * (n // 2) for i in range(30))
+    hi = sum(i * (n // 2) for i in range(10))
+    assert results == [lo] * (n // 2) + [hi] * (n // 2)
