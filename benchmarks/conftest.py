@@ -5,12 +5,61 @@ scale (the full paper-scale sweeps live behind ``python -m
 repro.experiments --full``).  Each benchmark stores the reproduced
 metric (efficiency, MB/node, flops/cycle...) in ``extra_info`` so the
 paper-vs-measured comparison survives in the benchmark JSON.
+
+P2P benchmarks additionally call :func:`record_p2p`; at session end the
+queued measurements are appended to ``BENCH_p2p.json`` at the repo root
+-- a *trajectory* artifact (one entry per benchmark run) that future
+PRs diff against to assert the message-rate/latency numbers did not
+regress.
 """
 
+import json
+import os
+import sys
+import time
+
 import pytest
+
+_P2P_RESULTS = []
+_BENCH_P2P_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_p2p.json")
+)
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark a heavy function with a single measured round."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def record_p2p(name, **fields):
+    """Queue one P2P measurement for the BENCH_p2p.json trajectory."""
+    _P2P_RESULTS.append({"name": name, **fields})
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # pytest imports this file as top-level ``conftest`` while the
+    # benchmarks import it as ``benchmarks.conftest`` -- two module
+    # instances, two queues.  Drain both.
+    results = list(_P2P_RESULTS)
+    twin = sys.modules.get("benchmarks.conftest")
+    if twin is not None and twin._P2P_RESULTS is not _P2P_RESULTS:
+        results.extend(twin._P2P_RESULTS)
+        twin._P2P_RESULTS.clear()
+    if not results:
+        return
+    try:
+        with open(_BENCH_P2P_PATH) as fh:
+            trajectory = json.load(fh)
+        if not isinstance(trajectory, list):
+            trajectory = []
+    except (FileNotFoundError, json.JSONDecodeError):
+        trajectory = []
+    trajectory.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "results": results,
+    })
+    with open(_BENCH_P2P_PATH, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    _P2P_RESULTS.clear()

@@ -2,6 +2,7 @@
 
 from repro.metrics.memory import MemorySampler, MemoryReport
 from repro.metrics.collectives import CollectiveMetrics
+from repro.metrics.p2p import P2PMetrics
 from repro.metrics.perf import parallel_efficiency, relative_performance
 from repro.metrics.report import Table, format_mb
 from repro.metrics.ascii_plot import line_chart
@@ -10,6 +11,7 @@ __all__ = [
     "MemorySampler",
     "MemoryReport",
     "CollectiveMetrics",
+    "P2PMetrics",
     "parallel_efficiency",
     "relative_performance",
     "Table",

@@ -1,0 +1,112 @@
+"""Point-to-point path counters.
+
+The indexed matcher and the zero-copy delivery path are performance
+claims; this module makes them observable.  Counters live where the
+events happen -- matcher comparison counts on each mailbox, traffic and
+copy counters in the runtime's per-task :class:`CommStats` shards --
+and are *aggregated on read*, so the message hot path never takes a
+global metrics lock (the PR 2 sharded-counter design).
+
+``P2PMetrics.from_runtime(rt)`` takes the snapshot; ``snapshot()``
+returns it as a plain dict for benchmark ``extra_info`` and the
+``BENCH_p2p.json`` trajectory artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.metrics.report import Table
+
+
+@dataclass
+class P2PMetrics:
+    """One runtime's aggregated point-to-point counters."""
+
+    #: matcher algorithm in use ("indexed" | "linear")
+    matcher: str = "indexed"
+    #: envelopes posted to / matched out of all mailboxes
+    posted: int = 0
+    delivered: int = 0
+    pending: int = 0
+    #: matcher match-step count: envelopes examined (linear) or bucket
+    #: lookups (indexed) -- same unit, directly comparable
+    comparisons: int = 0
+    #: times a parked receiver was woken (event-driven receives)
+    wakeups: int = 0
+    # traffic / copy counters (mirrors Runtime.stats)
+    messages: int = 0
+    bytes: int = 0
+    intra_node: int = 0
+    inter_node: int = 0
+    send_copies: int = 0
+    recv_copies: int = 0
+    elided: int = 0
+    elided_bytes: int = 0
+
+    @classmethod
+    def from_runtime(cls, runtime: Any) -> "P2PMetrics":
+        """Aggregate the per-mailbox and per-task-shard counters of one
+        runtime into a snapshot."""
+        m = cls(matcher=runtime.matcher)
+        for rank in range(runtime.n_tasks):
+            mbox = runtime.mailbox(rank)
+            m.posted += mbox.posted
+            m.delivered += mbox.delivered
+            m.pending += mbox.pending_count()
+            m.comparisons += mbox.matcher.comparisons
+            m.wakeups += mbox.wakeups
+        stats = runtime.stats
+        m.messages = stats.messages
+        m.bytes = stats.bytes
+        m.intra_node = stats.intra_node
+        m.inter_node = stats.inter_node
+        m.send_copies = stats.send_copies
+        m.recv_copies = stats.recv_copies
+        m.elided = stats.elided
+        m.elided_bytes = stats.elided_bytes
+        return m
+
+    # ------------------------------------------------------------- derived
+    @property
+    def comparisons_per_delivery(self) -> float:
+        """Mean matcher steps per successful match (1.0 is the indexed
+        matcher's exact-receive ideal; the linear matcher pays O(pending))."""
+        return self.comparisons / self.delivered if self.delivered else 0.0
+
+    # ----------------------------------------------------------- reporting
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "matcher": self.matcher,
+            "posted": self.posted,
+            "delivered": self.delivered,
+            "pending": self.pending,
+            "comparisons": self.comparisons,
+            "comparisons_per_delivery": round(self.comparisons_per_delivery, 3),
+            "wakeups": self.wakeups,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "intra_node": self.intra_node,
+            "inter_node": self.inter_node,
+            "send_copies": self.send_copies,
+            "recv_copies": self.recv_copies,
+            "elided": self.elided,
+            "elided_bytes": self.elided_bytes,
+        }
+
+    def render(self) -> str:
+        table = Table(["counter", "value"], title="p2p metrics")
+        for key, value in self.snapshot().items():
+            table.add_row(key, value)
+        return table.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"P2PMetrics(matcher={self.matcher!r}, "
+            f"delivered={self.delivered}, comparisons={self.comparisons}, "
+            f"elided={self.elided})"
+        )
+
+
+__all__ = ["P2PMetrics"]

@@ -25,7 +25,14 @@ from repro.runtime.errors import (
     MigrationError,
     MPIError,
 )
-from repro.runtime.message import ANY_SOURCE, ANY_TAG, Status
+from repro.runtime.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    IndexedMatcher,
+    LinearMatcher,
+    Mailbox,
+    Status,
+)
 from repro.runtime.ops import LAND, LOR, MAX, MIN, PROD, SUM
 from repro.runtime.request import Request
 from repro.runtime.collectives import CollectiveState, HierarchicalCollectiveState
@@ -43,6 +50,9 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Status",
+    "Mailbox",
+    "IndexedMatcher",
+    "LinearMatcher",
     "SUM",
     "PROD",
     "MAX",

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 from repro.runtime.errors import MPIError
 from repro.runtime.message import ANY_SOURCE, ANY_TAG, Status
 from repro.runtime.ops import Op, SUM
-from repro.runtime.payload import clone, deliver_into
+from repro.runtime.payload import clone, clone_would_copy, deliver_into
 from repro.runtime.request import Request
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -75,13 +75,18 @@ class Comm:
         *,
         buf: Any = None,
         status: Optional[Status] = None,
+        own: bool = False,
     ) -> Any:
         """Blocking receive; with ``buf`` the payload is delivered into
-        the given numpy buffer (enabling the same-buffer copy elision)."""
+        the given numpy buffer (enabling the same-buffer copy elision).
+
+        ``own=True`` requests ownership: the result is always a private
+        copy, even when the zero-copy fast path (``sharing="shared"``)
+        would have handed out the sender's object by reference."""
         env = self.runtime.mailbox(self.world_rank).receive(
             self.to_world(source), tag, self.context
         )
-        return self._deliver(env, buf, status)
+        return self._deliver(env, buf, status, own)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         self.send(obj, dest, tag)
@@ -93,6 +98,7 @@ class Comm:
         tag: int = ANY_TAG,
         *,
         buf: Any = None,
+        own: bool = False,
     ) -> Request:
         world_src = self.to_world(source)
         mbox = self.runtime.mailbox(self.world_rank)
@@ -102,12 +108,12 @@ class Comm:
             if env is None:
                 return None
             st = Status()
-            return self._deliver(env, buf, st), st
+            return self._deliver(env, buf, st, own), st
 
         def _block() -> Tuple[Any, Status]:
             env = mbox.receive(world_src, tag, self.context)
             st = Status()
-            return self._deliver(env, buf, st), st
+            return self._deliver(env, buf, st, own), st
 
         return Request(kind="recv", try_complete=_try, block_complete=_block)
 
@@ -137,33 +143,23 @@ class Comm:
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Blocking probe: waits for a matching message without
-        consuming it."""
-        import time as _time
-
-        deadline = self.runtime.timeout
-        while True:
-            st = self.iprobe(source, tag)
-            if st is not None:
-                return st
-            if self.runtime.abort_flag.is_set():
-                raise MPIError("job aborted during probe")
-            _time.sleep(0.001)
-            deadline -= 0.001
-            if deadline <= 0:
-                from repro.runtime.errors import DeadlockError
-
-                raise DeadlockError(
-                    f"probe(source={source}, tag={tag}) timed out"
-                )
+        consuming it (event-driven; no polling loop)."""
+        st = self.runtime.mailbox(self.world_rank).probe_blocking(
+            self.to_world(source), tag, self.context
+        )
+        st.source = self.to_comm(st.source)
+        return st
 
     def abort(self, reason: str = "MPI_Abort") -> None:
         """MPI_Abort analog: bring the whole job down."""
-        self.runtime.abort_flag.set()
+        self.runtime.signal_abort()
         from repro.runtime.errors import AbortError
 
         raise AbortError(reason)
 
-    def _deliver(self, env, buf: Any, status: Optional[Status]) -> Any:
+    def _deliver(
+        self, env, buf: Any, status: Optional[Status], own: bool = False
+    ) -> Any:
         if status is not None:
             status.source = self.to_comm(env.src)
             status.tag = env.tag
@@ -172,9 +168,21 @@ class Comm:
             result, copied = deliver_into(env.payload, buf)
             self.runtime.note_delivery(env, copied=copied)
             return result
-        self.runtime.note_delivery(env, copied=not env.owned)
         if env.owned:
+            # payload was already privatised at send time (inter-node,
+            # or the process backend's sender-side copy)
+            self.runtime.note_delivery(env, copied=False)
             return env.payload
+        if env.shareable and not own and clone_would_copy(env.payload):
+            # zero-copy fast path: sender and receiver share an address
+            # space and the sharing policy allows handing the payload
+            # out by reference; copy-on-receive only on request (own=True).
+            # Immutable payloads fall through -- their clone is free, so
+            # counting an elision would overstate the saving (the same
+            # rule the collective fast path applies).
+            self.runtime.note_delivery(env, copied=False)  # counts an elision
+            return env.payload
+        self.runtime.note_delivery(env, copied=True)
         return clone(env.payload)
 
     # ------------------------------------------------------------ collectives

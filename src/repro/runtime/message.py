@@ -1,24 +1,53 @@
-"""Point-to-point message plumbing: envelopes and mailboxes.
+"""Point-to-point message plumbing: envelopes, matchers and mailboxes.
 
 Each task owns one :class:`Mailbox`.  Senders post an
 :class:`Envelope`; receivers match on ``(communicator context, source,
-tag)`` with MPI wildcard semantics.  Matching scans pending messages in
-arrival order, which together with a per-sender sequence number gives
-the MPI non-overtaking guarantee: two messages from the same source on
-the same communicator and tag are received in the order they were sent.
+tag)`` with MPI wildcard semantics.  Two interchangeable matchers
+implement the pending-message store (``Runtime(matcher=...)``):
+
+* :class:`LinearMatcher` -- the seed-era reference: one arrival-order
+  list, O(pending) scan per receive.  Kept as the semantics oracle for
+  the property suite and as the benchmark baseline.
+* :class:`IndexedMatcher` -- per-``(context, src, tag)`` bucketed FIFO
+  queues plus a monotone arrival stamp.  Exact receives are O(1) bucket
+  lookups; wildcard (``ANY_SOURCE``/``ANY_TAG``) receives scan only the
+  *non-empty* buckets of the context and pick the head with the
+  smallest stamp, reproducing the linear matcher's arrival-order
+  semantics exactly.
+
+Either way, matching in arrival order together with a per-(src, dst)
+sequence number gives the MPI non-overtaking guarantee: two messages
+from the same source on the same communicator and tag are received in
+the order they were sent.
+
+Blocking receives are event-driven: a receiver parks on the mailbox
+condition until a post (targeted ``notify`` -- only the owner task ever
+blocks on its own mailbox), an abort wake, or its monotonic deadline.
+There is no fixed-rate poll; the deadline is absolute wall-clock from
+the start of the receive, so a stream of wakeups for non-matching
+traffic cannot stall a receive past its configured timeout (the PR 1
+barrier-timeout bug class).  Matching progress -- another request
+draining this mailbox between waits -- extends the deadline.
 """
 
 from __future__ import annotations
 
-import itertools
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.runtime.errors import AbortError, DeadlockError
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+#: cap on one condition wait: bounds the latency of noticing an abort
+#: flag set by code that does not go through ``Runtime.signal_abort``
+#: (which wakes mailboxes explicitly).  This is a safety tick, not a
+#: poll -- a healthy receive is woken by the matching post long before.
+_ABORT_TICK = 1.0
 
 
 @dataclass
@@ -33,6 +62,11 @@ class Envelope:
     nbytes: int
     seq: int            # per-(src,dst) sequence for FIFO assertions
     owned: bool = True  # payload is already a private copy of the data
+    #: receiver may keep the payload by reference (same address space
+    #: and the runtime's sharing policy allows it) -- the P2P analog of
+    #: the collectives zero-copy fast path
+    shareable: bool = False
+    arrival: int = -1   # mailbox arrival stamp, set by the matcher
 
     def matches(self, source: int, tag: int, context: int) -> bool:
         return (
@@ -51,35 +85,170 @@ class Status:
     nbytes: int = 0
 
 
+class LinearMatcher:
+    """Arrival-order list with O(pending) scans (the seed matcher).
+
+    ``comparisons`` counts envelopes examined -- the cost metric the
+    indexed matcher is benchmarked against.
+    """
+
+    algorithm = "linear"
+
+    def __init__(self) -> None:
+        self._pending: List[Envelope] = []
+        self._stamp = 0
+        self.comparisons = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, env: Envelope) -> None:
+        env.arrival = self._stamp
+        self._stamp += 1
+        self._pending.append(env)
+
+    def take(self, source: int, tag: int, context: int) -> Optional[Envelope]:
+        for i, env in enumerate(self._pending):
+            self.comparisons += 1
+            if env.matches(source, tag, context):
+                return self._pending.pop(i)
+        return None
+
+    def peek(self, source: int, tag: int, context: int) -> Optional[Envelope]:
+        for env in self._pending:
+            self.comparisons += 1
+            if env.matches(source, tag, context):
+                return env
+        return None
+
+
+class IndexedMatcher:
+    """Bucketed FIFO queues: O(1) exact match, O(buckets) wildcards.
+
+    Buckets are keyed ``(src, tag)`` inside a per-context table; empty
+    buckets (and empty context tables) are removed eagerly so wildcard
+    scans only ever visit live traffic.  Arrival stamps are monotone per
+    mailbox, so "the pending message that arrived first" is well defined
+    across buckets -- wildcard receives pick the minimum-stamp head,
+    which is exactly the message the linear scan would have matched.
+
+    ``comparisons`` counts bucket examinations (one per exact lookup,
+    one per candidate bucket for wildcards) -- deliberately the same
+    unit as :class:`LinearMatcher` counts envelopes, since the linear
+    scan examines one envelope per step and the indexed scan one bucket
+    head per step.
+    """
+
+    algorithm = "indexed"
+
+    def __init__(self) -> None:
+        # context -> {(src, tag): FIFO of envelopes}
+        self._ctx: Dict[int, Dict[Tuple[int, int], Deque[Envelope]]] = {}
+        self._stamp = 0
+        self._size = 0
+        self.comparisons = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, env: Envelope) -> None:
+        env.arrival = self._stamp
+        self._stamp += 1
+        buckets = self._ctx.setdefault(env.context, {})
+        q = buckets.get((env.src, env.tag))
+        if q is None:
+            q = deque()
+            buckets[(env.src, env.tag)] = q
+        q.append(env)
+        self._size += 1
+
+    def _match_key(
+        self, source: int, tag: int, context: int
+    ) -> Optional[Tuple[int, int]]:
+        buckets = self._ctx.get(context)
+        if not buckets:
+            return None
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            self.comparisons += 1
+            return (source, tag) if (source, tag) in buckets else None
+        best_key: Optional[Tuple[int, int]] = None
+        best_stamp = -1
+        for key, q in buckets.items():
+            self.comparisons += 1
+            src, t = key
+            if source != ANY_SOURCE and src != source:
+                continue
+            if tag != ANY_TAG and t != tag:
+                continue
+            stamp = q[0].arrival
+            if best_key is None or stamp < best_stamp:
+                best_key, best_stamp = key, stamp
+        return best_key
+
+    def take(self, source: int, tag: int, context: int) -> Optional[Envelope]:
+        key = self._match_key(source, tag, context)
+        if key is None:
+            return None
+        buckets = self._ctx[context]
+        q = buckets[key]
+        env = q.popleft()
+        if not q:
+            del buckets[key]
+            if not buckets:
+                del self._ctx[context]
+        self._size -= 1
+        return env
+
+    def peek(self, source: int, tag: int, context: int) -> Optional[Envelope]:
+        key = self._match_key(source, tag, context)
+        if key is None:
+            return None
+        return self._ctx[context][key][0]
+
+
+_MATCHERS = {"indexed": IndexedMatcher, "linear": LinearMatcher}
+
+
 class Mailbox:
-    """Pending-message queue for one task, with blocking matched receive."""
+    """Pending-message store for one task, with blocking matched receive."""
 
     def __init__(self, owner: int, abort_flag: threading.Event,
-                 *, timeout: float = 30.0) -> None:
+                 *, timeout: float = 30.0, matcher: str = "indexed") -> None:
         self.owner = owner
-        self._pending: List[Envelope] = []
+        try:
+            self.matcher = _MATCHERS[matcher]()
+        except KeyError:
+            raise ValueError(f"unknown mailbox matcher {matcher!r}") from None
         self._cond = threading.Condition()
         self._abort = abort_flag
         self._timeout = timeout
         self.posted = 0
         self.delivered = 0
+        self.wakeups = 0   # times a parked receiver was woken
 
     def post(self, env: Envelope) -> None:
         with self._cond:
-            self._pending.append(env)
+            self.matcher.add(env)
             self.posted += 1
+            # Targeted wake: only the mailbox owner ever blocks on this
+            # condition (receives are task-local), so a single notify
+            # reaches exactly the right thread.
+            self._cond.notify()
+
+    def wake(self) -> None:
+        """Wake any parked receiver (abort path; see Runtime.signal_abort)."""
+        with self._cond:
             self._cond.notify_all()
 
     def _take(self, source: int, tag: int, context: int) -> Optional[Envelope]:
-        for i, env in enumerate(self._pending):
-            if env.matches(source, tag, context):
-                self.delivered += 1
-                return self._pending.pop(i)
-        return None
+        env = self.matcher.take(source, tag, context)
+        if env is not None:
+            self.delivered += 1
+        return env
 
     def receive(self, source: int, tag: int, context: int) -> Envelope:
         """Block until a matching message arrives."""
-        deadline = self._timeout
+        deadline = time.monotonic() + self._timeout
         with self._cond:
             while True:
                 if self._abort.is_set():
@@ -87,13 +256,21 @@ class Mailbox:
                 env = self._take(source, tag, context)
                 if env is not None:
                     return env
-                if not self._cond.wait(timeout=0.05):
-                    deadline -= 0.05
-                    if deadline <= 0:
-                        raise DeadlockError(
-                            f"task {self.owner}: recv(source={source}, tag={tag}) "
-                            f"timed out -- likely deadlock"
-                        )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"task {self.owner}: recv(source={source}, tag={tag}) "
+                        f"timed out -- likely deadlock"
+                    )
+                delivered = self.delivered
+                self._cond.wait(timeout=min(remaining, _ABORT_TICK))
+                self.wakeups += 1
+                if self.delivered != delivered:
+                    # Matching progress (another request drained this
+                    # mailbox while we slept) extends the deadline; mere
+                    # arrivals of non-matching traffic do not, so a
+                    # receive nobody answers still times out on schedule.
+                    deadline = time.monotonic() + self._timeout
 
     def try_receive(self, source: int, tag: int, context: int) -> Optional[Envelope]:
         """Non-blocking matched receive (None if nothing matches)."""
@@ -105,14 +282,41 @@ class Mailbox:
     def probe(self, source: int, tag: int, context: int) -> Optional[Status]:
         """Non-destructive match: status of the first matching message."""
         with self._cond:
-            for env in self._pending:
-                if env.matches(source, tag, context):
+            env = self.matcher.peek(source, tag, context)
+            if env is None:
+                return None
+            return Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
+
+    def probe_blocking(self, source: int, tag: int, context: int) -> Status:
+        """Block until a matching message is pending; do not consume it."""
+        deadline = time.monotonic() + self._timeout
+        with self._cond:
+            while True:
+                if self._abort.is_set():
+                    raise AbortError(f"task {self.owner}: job aborted during probe")
+                env = self.matcher.peek(source, tag, context)
+                if env is not None:
                     return Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
-        return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"task {self.owner}: probe(source={source}, tag={tag}) "
+                        f"timed out"
+                    )
+                self._cond.wait(timeout=min(remaining, _ABORT_TICK))
+                self.wakeups += 1
 
     def pending_count(self) -> int:
         with self._cond:
-            return len(self._pending)
+            return len(self.matcher)
 
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "Status", "Mailbox"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Envelope",
+    "Status",
+    "LinearMatcher",
+    "IndexedMatcher",
+    "Mailbox",
+]

@@ -10,8 +10,11 @@ copy policy*, not the OS mechanism) but flips the policies:
 * every task gets its **own private address space**, so globals -- and
   in particular every would-be-HLS variable -- are fully duplicated;
 * every message is **copied at the sender** (serialisation into a comm
-  buffer) in addition to the receiver-side delivery copy, and the
-  same-buffer elision can never trigger;
+  buffer) in addition to the receiver-side delivery copy, the
+  same-buffer elision can never trigger, and the zero-copy fast paths
+  (collective *and* point-to-point, ``sharing="shared"``) are rejected
+  outright -- there is no shared address space to hand references
+  across;
 * the communication-buffer pool is **eager and per-peer**, following
   Open MPI's defaults -- the source of the "MPC consumes between 100
   and 300MB less memory than Open MPI and this gap grows with the
@@ -52,7 +55,8 @@ class ProcessRuntime(Runtime):
 
             raise MPIError(
                 "the process backend has no shared address space: "
-                "zero-copy collective sharing is unavailable"
+                "zero-copy sharing (collective or point-to-point) is "
+                "unavailable"
             )
         self._task_spaces: Dict[int, AddressSpace] = {}
         super().__init__(*args, **kwargs)

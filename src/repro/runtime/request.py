@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.runtime.message import Status
@@ -68,13 +69,19 @@ class Request:
     def waitany(requests: List["Request"]) -> Tuple[int, Any]:
         """Block until some request completes; returns (index, result).
         Polls in order, so completion is fair for already-ready
-        requests."""
+        requests; after the first empty sweep it backs off so a long
+        wait does not burn a core (blocking receives themselves are
+        event-driven in the mailbox and need no such loop)."""
         if not requests:
             raise ValueError("waitany needs at least one request")
+        sweeps = 0
         while True:
             for i, r in enumerate(requests):
                 if r.test():
                     return i, r.wait()
+            sweeps += 1
+            if sweeps > 1:
+                time.sleep(min(0.0001 * sweeps, 0.002))
 
     @staticmethod
     def completed(result: Any = None, status: Optional[Status] = None) -> "Request":

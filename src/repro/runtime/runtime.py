@@ -20,7 +20,7 @@ the address-space and copy policies to behave like Open MPI.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.machine.topology import Machine, build_machine
@@ -47,6 +47,11 @@ class CommStats:
     recv_copies: int = 0
     elided: int = 0
     elided_bytes: int = 0
+
+    def merge(self, other: "CommStats") -> None:
+        """Fold ``other``'s counters into this one (shard aggregation)."""
+        for f in fields(CommStats):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 class Runtime:
@@ -95,14 +100,20 @@ class Runtime:
         pinning: Optional[Sequence[int]] = None,
         algorithm: Optional[str] = None,
         sharing: str = "private",
+        matcher: str = "indexed",
     ) -> None:
         if algorithm is not None:
             if algorithm not in ("flat", "hierarchical"):
                 raise MPIError(f"unknown collective algorithm {algorithm!r}")
             self.collective_algorithm = algorithm
         if sharing not in ("private", "shared"):
-            raise MPIError(f"unknown collective sharing policy {sharing!r}")
-        self.collective_sharing = sharing
+            raise MPIError(f"unknown sharing policy {sharing!r}")
+        #: HLS sharing policy: governs the zero-copy fast path of both
+        #: collectives and point-to-point deliveries
+        self.sharing = sharing
+        if matcher not in ("indexed", "linear"):
+            raise MPIError(f"unknown mailbox matcher {matcher!r}")
+        self.matcher = matcher
         if machine is None:
             if n_tasks is None:
                 raise MPIError("provide a machine, n_tasks, or both")
@@ -125,19 +136,24 @@ class Runtime:
         self.timeout = timeout
         self.abort_flag = threading.Event()
         self._mailboxes = [
-            Mailbox(r, self.abort_flag, timeout=timeout) for r in range(self.n_tasks)
+            Mailbox(r, self.abort_flag, timeout=timeout, matcher=matcher)
+            for r in range(self.n_tasks)
         ]
-        self._seq: Dict[tuple, int] = {}
-        self._seq_lock = threading.Lock()
+        # Per-sender sequence cells: rank r's cell is only ever touched
+        # by r's own thread (sends execute on the sender), so no lock.
+        self._seq: List[Dict[int, int]] = [dict() for _ in range(self.n_tasks)]
         self._contexts = 0
         self._ctx_lock = threading.Lock()
         self._coll_states: Dict[int, CollectiveState] = {}
         self._coll_lock = threading.Lock()
         self._world_context = self.alloc_context()
-        self.stats = CommStats()
+        # Per-task stat shards, aggregated on read by the ``stats``
+        # property: send-side counters land in the sender's shard, the
+        # delivery counters in the receiver's -- each shard is owned by
+        # exactly one task thread, so the hot path takes no lock.
+        self._stat_shards = [CommStats() for _ in range(self.n_tasks)]
         self.collective_metrics = CollectiveMetrics()
         self._pin_version = 0
-        self._stats_lock = threading.Lock()
         self.tracer: Optional[Any] = None
         self.migration_checks: List[Callable[[TaskContext, int], None]] = []
         self.post_move_hooks: List[Callable[[int, int], None]] = []
@@ -209,12 +225,25 @@ class Runtime:
             self._contexts += 1
             return self._contexts
 
+    @property
+    def collective_sharing(self) -> str:
+        """Backwards-compatible alias: the sharing policy is one knob
+        governing collectives and point-to-point alike."""
+        return self.sharing
+
     def _collective_share_check(self) -> Optional[Callable[[int, int], bool]]:
         """The zero-copy legality predicate, or None when the sharing
         policy forbids by-reference collective payloads."""
-        if self.collective_sharing != "shared":
+        if self.sharing != "shared":
             return None
         return self.shares_address_space
+
+    def _p2p_shareable(self, src: int, dst: int) -> bool:
+        """May a P2P payload be handed to the receiver by reference?
+        Same policy hook as the collectives fast path: the sharing
+        policy must allow it and the endpoints must share an address
+        space (never true for the process backend)."""
+        return self.sharing == "shared" and self.shares_address_space(src, dst)
 
     def collective_state(self, context: int, group) -> CollectiveState:
         """The shared collective engine of one communicator.  ``group``
@@ -255,6 +284,22 @@ class Runtime:
     def mailbox(self, world_rank: int) -> Mailbox:
         return self._mailboxes[world_rank]
 
+    @property
+    def stats(self) -> CommStats:
+        """Message-traffic counters, merged over the per-task shards on
+        read.  The returned object is a snapshot."""
+        total = CommStats()
+        for shard in self._stat_shards:
+            total.merge(shard)
+        return total
+
+    def p2p_metrics(self):
+        """Snapshot of the point-to-point path counters (matcher
+        comparisons, wakeups, traffic and copy-elision statistics)."""
+        from repro.metrics.p2p import P2PMetrics
+
+        return P2PMetrics.from_runtime(self)
+
     def post_message(
         self, src: int, dst: int, tag: int, context: int, obj: Any
     ) -> None:
@@ -262,11 +307,11 @@ class Runtime:
             raise MPIError(f"send to unknown rank {dst}")
         intra = self.same_node(src, dst)
         copy_now = self.copy_at_send_intra_node or not intra
+        nbytes = payload_nbytes(obj)   # measured once, before any clone
         payload = clone(obj) if copy_now else obj
-        nbytes = payload_nbytes(obj)
-        with self._seq_lock:
-            seq = self._seq.get((src, dst), 0)
-            self._seq[(src, dst)] = seq + 1
+        cell = self._seq[src]          # sender-owned: rank src's thread only
+        seq = cell.get(dst, 0)
+        cell[dst] = seq + 1
         if seq == 0 and self.EAGER_PER_CONNECTION:
             # first message on this (src, dst) connection: eager buffers
             # appear at both endpoints (Open MPI's lazy connection setup;
@@ -283,29 +328,39 @@ class Runtime:
         env = Envelope(
             src=src, dst=dst, tag=tag, context=context,
             payload=payload, nbytes=nbytes, seq=seq, owned=copy_now,
+            shareable=not copy_now and self._p2p_shareable(src, dst),
         )
-        with self._stats_lock:
-            self.stats.messages += 1
-            self.stats.bytes += nbytes
-            if intra:
-                self.stats.intra_node += 1
-            else:
-                self.stats.inter_node += 1
-            if copy_now:
-                self.stats.send_copies += 1
+        shard = self._stat_shards[src]
+        shard.messages += 1
+        shard.bytes += nbytes
+        if intra:
+            shard.intra_node += 1
+        else:
+            shard.inter_node += 1
+        if copy_now:
+            shard.send_copies += 1
         if self.tracer is not None:
             self.tracer.record_send(src, dst, tag, context, seq)
         self._mailboxes[dst].post(env)
 
     def note_delivery(self, env: Envelope, *, copied: bool) -> None:
-        with self._stats_lock:
-            if copied:
-                self.stats.recv_copies += 1
-            elif not env.owned:
-                self.stats.elided += 1
-                self.stats.elided_bytes += env.nbytes
+        shard = self._stat_shards[env.dst]
+        if copied:
+            shard.recv_copies += 1
+        elif not env.owned:
+            shard.elided += 1
+            shard.elided_bytes += env.nbytes
         if self.tracer is not None:
             self.tracer.record_recv(env.dst, env.src, env.tag, env.context, env.seq)
+
+    # ------------------------------------------------------------------ abort
+    def signal_abort(self) -> None:
+        """Set the abort flag and wake every receiver parked in a
+        mailbox.  Blocking receives are event-driven (no fixed-rate
+        poll), so an abort must be announced, not discovered."""
+        self.abort_flag.set()
+        for mbox in self._mailboxes:
+            mbox.wake()
 
     # ------------------------------------------------------------------ run
     def run(self, main: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
@@ -326,7 +381,7 @@ class Runtime:
             except BaseException as exc:  # noqa: BLE001 - must propagate
                 with err_lock:
                     errors.append((rank, exc))
-                self.abort_flag.set()
+                self.signal_abort()
 
         threads = [
             threading.Thread(target=worker, args=(r,), name=f"mpi-task-{r}")

@@ -7,9 +7,11 @@ sets.  A lost wakeup or a generation mix-up shows up as a wrong value or
 a :class:`DeadlockError` within the runtime timeout.
 
 Marked ``stress``: CI reruns this module several times to surface flaky
-interleavings.
+interleavings.  Set ``REPRO_SHARING=shared`` to run the whole battery
+with the zero-copy fast path enabled (CI does both).
 """
 
+import os
 import threading
 
 import pytest
@@ -26,6 +28,8 @@ from repro.machine.treemap import collective_levels
 pytestmark = pytest.mark.stress
 
 ALGOS = ["flat", "hierarchical"]
+#: sharing policy for the whole battery (CI runs "private" and "shared")
+SHARING = os.environ.get("REPRO_SHARING", "private")
 
 
 @pytest.mark.parametrize("algorithm", ALGOS)
@@ -49,7 +53,8 @@ def test_split_with_concurrent_subcomm_allreduce(algorithm):
         return color, out
 
     for _ in range(3):
-        rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0)
+        rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0,
+                 sharing=SHARING)
         results = rt.run(main)
         world_sum_base = sum(range(n))
         for rank, (color, out) in enumerate(results):
@@ -81,7 +86,8 @@ def test_nested_overlapping_communicators(algorithm):
             out.append(w.scan(1))
         return out
 
-    rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0)
+    rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0,
+                 sharing=SHARING)
     results = rt.run(main)
     evens = [r for r in range(n) if r % 2 == 0]
     odds = [r for r in range(n) if r % 2 == 1]
@@ -174,7 +180,8 @@ def test_disjoint_subcomms_never_couple(algorithm):
             acc += half.allreduce(i)
         return acc
 
-    rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0)
+    rt = Runtime(machine, n_tasks=n, algorithm=algorithm, timeout=30.0,
+                 sharing=SHARING)
     results = rt.run(main)
     lo = sum(i * (n // 2) for i in range(30))
     hi = sum(i * (n // 2) for i in range(10))

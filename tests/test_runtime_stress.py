@@ -1,5 +1,9 @@
-"""Stress / fuzz tests: concurrency-heavy paths that once raced."""
+"""Stress / fuzz tests: concurrency-heavy paths that once raced.
 
+Set ``REPRO_SHARING=shared`` to run the thread-runtime cases with the
+zero-copy fast path enabled (CI does both)."""
+
+import os
 import threading
 
 import numpy as np
@@ -8,6 +12,9 @@ import pytest
 from repro.machine import core2_cluster
 from repro.memsim.address_space import AddressSpace
 from repro.runtime import ProcessRuntime, Runtime
+
+#: sharing policy for the thread-runtime cases (never the process backend)
+SHARING = os.environ.get("REPRO_SHARING", "private")
 
 
 class TestAddressSpaceConcurrency:
@@ -86,7 +93,7 @@ class TestAllPairsCommunication:
         for i in range(200):
             src, dst = rng.choice(n, size=2, replace=False)
             plan.append((int(src), int(dst), int(rng.integers(0, 3)), i))
-        rt = Runtime(core2_cluster(1), n_tasks=n, timeout=30.0)
+        rt = Runtime(core2_cluster(1), n_tasks=n, timeout=30.0, sharing=SHARING)
         received = []
         lock = threading.Lock()
 
@@ -106,7 +113,7 @@ class TestAllPairsCommunication:
 
     def test_collective_storm(self):
         """Many interleaved collectives on several communicators."""
-        rt = Runtime(core2_cluster(1), n_tasks=8, timeout=30.0)
+        rt = Runtime(core2_cluster(1), n_tasks=8, timeout=30.0, sharing=SHARING)
 
         def main(ctx):
             c = ctx.comm_world
