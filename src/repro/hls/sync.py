@@ -23,14 +23,21 @@ state exposes as ``local_ops`` / ``cross_ops`` for the ablation bench.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+import time
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.machine.scopes import ScopeInstance, ScopeKind, ScopeSpec
+from repro.runtime.abort import note_abort, subscribe_abort
 from repro.runtime.errors import AbortError, DeadlockError, MigrationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.runtime import Runtime
     from repro.runtime.task import TaskContext
+
+#: cap on one condition wait: abort safety tick for flags that cannot
+#: broadcast a wake (bare-Event unit-test construction); parked waiters
+#: are normally woken by the release notify or the abort broadcast.
+_ABORT_TICK = 1.0
 
 
 class ScopeSyncState:
@@ -44,6 +51,7 @@ class ScopeSyncState:
         *,
         timeout: float,
         groups: Optional[Dict[int, int]] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         if not participants:
             raise ValueError(f"scope instance {instance} has no tasks")
@@ -55,6 +63,7 @@ class ScopeSyncState:
         self._cond = threading.Condition()
         self._count = 0
         self._generation = 0
+        self._arrivals = 0           # monotone; deadline-extension progress
         self._gcount: Dict[int, int] = {}
         # groups: rank -> llc-group id (hierarchical algorithm); None = flat
         self._groups = groups
@@ -68,9 +77,25 @@ class ScopeSyncState:
         self._task_nowait: Dict[int, int] = {}
         self.local_ops = 0           # llc-local synchronisation operations
         self.cross_ops = 0           # operations crossing the llc boundary
+        #: fault injector (None = chaos off)
+        self.faults = faults
+        # The missed-abort fix: parked single/barrier waiters only
+        # recheck on a notify, so an abort must deliver one (the same
+        # signal-abort pattern as Mailbox.receive).
+        subscribe_abort(abort_flag, self.wake)
+
+    def wake(self) -> None:
+        """Wake every waiter parked on this scope (abort broadcast)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def _hit(self, site: str, rank: int) -> None:
+        if self.faults is not None:
+            self.faults.hit(site, rank, wake=self.wake)
 
     # ----------------------------------------------------------- accounting
     def _account_arrival(self, rank: int) -> None:
+        self._arrivals += 1
         if self._groups is None:
             self.cross_ops += 1      # flat: every arrival hits the hot counter
             return
@@ -82,21 +107,32 @@ class ScopeSyncState:
             self._gcount[g] = 0
 
     def _wait_generation(self, gen: int) -> None:
-        deadline = self._timeout
+        # Monotonic-clock deadline extended only on *arrivals*: neither
+        # spurious wakeups (which the chaos harness injects) nor
+        # notified-but-unreleased waits can postpone deadlock detection
+        # (the old countdown only shrank on timed-out waits, so a
+        # steady notify stream starved the timeout forever).
+        deadline = time.monotonic() + self._timeout
+        seen = self._arrivals
         while self._generation == gen:
             if self._abort.is_set():
+                note_abort(self._abort)
                 raise AbortError("job aborted during hls synchronization")
-            if not self._cond.wait(timeout=0.05):
-                deadline -= 0.05
-                if deadline <= 0:
-                    raise DeadlockError(
-                        f"hls sync on {self.instance} timed out with "
-                        f"{self._count}/{self.size} arrived -- did every "
-                        f"task of the scope execute the directive?"
-                    )
+            now = time.monotonic()
+            if self._arrivals != seen:
+                seen = self._arrivals
+                deadline = now + self._timeout
+            elif now >= deadline:
+                raise DeadlockError(
+                    f"hls sync on {self.instance} timed out with "
+                    f"{self._count}/{self.size} arrived -- did every "
+                    f"task of the scope execute the directive?"
+                )
+            self._cond.wait(timeout=min(deadline - now, _ABORT_TICK))
 
     # -------------------------------------------------------------- barrier
     def barrier(self, rank: int) -> None:
+        self._hit("hls.barrier", rank)
         with self._cond:
             self._account_arrival(rank)
             gen = self._generation
@@ -114,6 +150,7 @@ class ScopeSyncState:
         """True for the task that must execute the block (the last one
         to arrive, per section IV-B); the others block until
         :meth:`single_done`."""
+        self._hit("hls.single", rank)
         with self._cond:
             self._account_arrival(rank)
             gen = self._generation
@@ -134,6 +171,7 @@ class ScopeSyncState:
     def single_nowait_enter(self, rank: int) -> bool:
         """True for the first task reaching this (dynamic) single; no
         barrier either way."""
+        self._hit("hls.nowait", rank)
         with self._cond:
             self._account_arrival(rank)
             mine = self._task_nowait.get(rank, 0) + 1
@@ -201,6 +239,7 @@ class HLSSync:
                 st = ScopeSyncState(
                     instance, participants, self.runtime.abort_flag,
                     timeout=self.runtime.timeout, groups=groups,
+                    faults=getattr(self.runtime, "faults", None),
                 )
                 self._states[instance] = st
             return st

@@ -2,6 +2,7 @@
 
 from repro.metrics.memory import MemorySampler, MemoryReport
 from repro.metrics.collectives import CollectiveMetrics
+from repro.metrics.faults import FaultMetrics
 from repro.metrics.p2p import P2PMetrics
 from repro.metrics.perf import parallel_efficiency, relative_performance
 from repro.metrics.report import Table, format_mb
@@ -11,6 +12,7 @@ __all__ = [
     "MemorySampler",
     "MemoryReport",
     "CollectiveMetrics",
+    "FaultMetrics",
     "P2PMetrics",
     "parallel_efficiency",
     "relative_performance",

@@ -18,12 +18,16 @@ threads, same-node tasks share an address space) and
 private address spaces, sender-side copies, eager buffers).
 """
 
+from repro.runtime.abort import AbortSignal
 from repro.runtime.errors import (
     AbortError,
     CountMismatchError,
     DeadlockError,
+    InjectedCrash,
     MigrationError,
     MPIError,
+    PayloadCloneError,
+    TransientCommError,
 )
 from repro.runtime.message import (
     ANY_SOURCE,
@@ -47,6 +51,10 @@ __all__ = [
     "DeadlockError",
     "CountMismatchError",
     "MigrationError",
+    "InjectedCrash",
+    "PayloadCloneError",
+    "TransientCommError",
+    "AbortSignal",
     "ANY_SOURCE",
     "ANY_TAG",
     "Status",

@@ -1,0 +1,82 @@
+"""Abort signalling: a subscribable abort flag.
+
+The runtime's blocking primitives are event-driven -- a parked task is
+woken by the notify of the event it waits for, not by a fixed-rate
+poll.  That makes abort a *broadcast* problem: whoever sets the flag
+must wake every parked waiter, wherever it is parked (a mailbox
+condition, a collective tree node, an HLS scope state).
+
+:class:`AbortSignal` solves it by subscription: each synchronisation
+primitive registers a waker callback at construction time, and
+:meth:`AbortSignal.set` runs them all after raising the flag.  The
+class subclasses :class:`threading.Event`, so every pre-existing call
+site that only checks ``abort_flag.is_set()`` -- and every test that
+hands a bare ``threading.Event`` to a primitive -- keeps working; the
+primitives degrade to their 1 s safety tick when the flag cannot be
+subscribed to.
+
+The signal also keeps the abort bookkeeping the chaos metrics report
+(:mod:`repro.metrics.faults`): when the flag was first raised
+(recovery-latency measurement) and how many blocked operations it
+terminated (``propagated``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+
+class AbortSignal(threading.Event):
+    """A :class:`threading.Event` that wakes subscribers when set."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._wakers: List[Callable[[], None]] = []
+        self._sub_lock = threading.Lock()
+        #: monotonic timestamp of the first ``set()`` (None until then)
+        self.set_at: Optional[float] = None
+        #: blocked operations terminated with AbortError by this signal
+        self.propagated = 0
+
+    def subscribe(self, waker: Callable[[], None]) -> None:
+        """Register a waker run on every ``set()``.  Wakers must be
+        idempotent and must not block (typically ``notify_all`` under
+        the primitive's own condition)."""
+        with self._sub_lock:
+            self._wakers.append(waker)
+        if self.is_set():       # late subscriber during an abort
+            waker()
+
+    def set(self) -> None:  # noqa: A003 - threading.Event API
+        with self._sub_lock:
+            if self.set_at is None:
+                self.set_at = time.monotonic()
+            wakers = list(self._wakers)
+        super().set()
+        for wake in wakers:
+            wake()
+
+    def note_propagation(self) -> None:
+        with self._sub_lock:
+            self.propagated += 1
+
+
+def subscribe_abort(flag: threading.Event, waker: Callable[[], None]) -> None:
+    """Subscribe ``waker`` to ``flag`` when the flag supports it (a
+    bare ``threading.Event`` -- unit-test construction -- does not; the
+    caller's safety tick covers that case)."""
+    sub = getattr(flag, "subscribe", None)
+    if sub is not None:
+        sub(waker)
+
+
+def note_abort(flag: threading.Event) -> None:
+    """Record one abort propagation on ``flag`` when it keeps count."""
+    note = getattr(flag, "note_propagation", None)
+    if note is not None:
+        note()
+
+
+__all__ = ["AbortSignal", "subscribe_abort", "note_abort"]

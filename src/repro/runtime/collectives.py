@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.machine.treemap import TreeLevel
 from repro.metrics.collectives import CollectiveMetrics
+from repro.runtime.abort import note_abort, subscribe_abort
 from repro.runtime.errors import (
     AbortError,
     CountMismatchError,
@@ -52,8 +53,11 @@ from repro.runtime.errors import (
 from repro.runtime.ops import Op
 from repro.runtime.payload import clone_would_copy
 
-#: wait-loop poll interval: abort/deadlock checks every tick
-_POLL = 0.05
+#: cap on one condition wait.  Waits are event-driven -- releases and
+#: aborts notify the condition -- so this is a safety tick for abort
+#: flags set without a wake (bare-Event construction in unit tests) and
+#: the granularity of progress-based deadline extension, not a poll.
+_ABORT_TICK = 1.0
 
 
 class CollectiveState:
@@ -69,6 +73,7 @@ class CollectiveState:
         timeout: float = 30.0,
         clone: Callable[[Any], Any] = lambda x: x,
         metrics: Optional[CollectiveMetrics] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         if size < 1:
             raise ValueError("communicator size must be >= 1")
@@ -77,13 +82,28 @@ class CollectiveState:
         self._timeout = timeout
         self._clone = clone
         self.metrics = metrics if metrics is not None else CollectiveMetrics()
+        #: fault injector (None = chaos off; one attribute test per op)
+        self.faults = faults
         self._cond = threading.Condition()
         self._count = 0
         self._generation = 0
         self.board: List[Any] = [None] * size
         self.barriers = 0  # total barrier episodes completed
+        # Abort is announced, not discovered: wake parked waiters at
+        # whatever node of the engine they are blocked on.
+        subscribe_abort(abort_flag, self._abort_wake)
 
     # ------------------------------------------------------------------ utils
+    def _abort_wake(self) -> None:
+        """Wake every task parked in this engine (abort broadcast)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def _hit(self, rank: Optional[int]) -> None:
+        """Per-rank collective-entry injection site (chaos harness)."""
+        if self.faults is not None and rank is not None:
+            self.faults.hit("coll.sweep", rank, wake=self._abort_wake)
+
     def _do_clone(self, obj: Any) -> Any:
         new = self._clone(obj)
         if new is not obj:
@@ -96,6 +116,7 @@ class CollectiveState:
 
     # ----------------------------------------------------------------- barrier
     def barrier(self, rank: Optional[int] = None) -> None:
+        self._hit(rank)
         with self._cond:
             gen = self._generation
             self._count += 1
@@ -111,24 +132,29 @@ class CollectiveState:
     def _wait_release(self, gen: int) -> None:
         # Monotonic-clock deadline, extended whenever another task
         # arrives: a slow-but-progressing barrier never spuriously
-        # raises, only a genuinely stalled one does.
+        # raises, only a genuinely stalled one does.  The deadline is
+        # extended only on *arrivals* -- spurious wakeups (which the
+        # chaos harness injects) cannot postpone deadlock detection.
         deadline = time.monotonic() + self._timeout
         seen = self._count
         while self._generation == gen:
             if self._abort.is_set():
+                note_abort(self._abort)
                 raise AbortError("job aborted during barrier")
-            self._cond.wait(timeout=_POLL)
+            now = time.monotonic()
             if self._count != seen:
                 seen = self._count
-                deadline = time.monotonic() + self._timeout
-            elif time.monotonic() >= deadline:
+                deadline = now + self._timeout
+            elif now >= deadline:
                 raise DeadlockError(
                     f"barrier timed out with {self._count}/{self.size} "
                     f"arrived -- collective mismatch?"
                 )
+            self._cond.wait(timeout=min(deadline - now, _ABORT_TICK))
 
     # ------------------------------------------------------------ collectives
     def bcast(self, rank: int, obj: Any, root: int) -> Any:
+        self._hit(rank)
         self._check_root(root)
         if rank == root:
             self.board[root] = obj
@@ -138,6 +164,7 @@ class CollectiveState:
         return val
 
     def gather(self, rank: int, obj: Any, root: int) -> Optional[List[Any]]:
+        self._hit(rank)
         self._check_root(root)
         self.board[rank] = obj
         self.barrier()
@@ -150,6 +177,7 @@ class CollectiveState:
         return out
 
     def allgather(self, rank: int, obj: Any) -> List[Any]:
+        self._hit(rank)
         self.board[rank] = obj
         self.barrier()
         out = [self._do_clone(self.board[r]) for r in range(self.size)]
@@ -157,6 +185,7 @@ class CollectiveState:
         return out
 
     def scatter(self, rank: int, objs: Optional[List[Any]], root: int) -> Any:
+        self._hit(rank)
         self._check_root(root)
         if rank == root:
             if objs is None or len(objs) != self.size:
@@ -171,6 +200,7 @@ class CollectiveState:
         return val
 
     def reduce(self, rank: int, obj: Any, op: Op, root: int) -> Optional[Any]:
+        self._hit(rank)
         self._check_root(root)
         self.board[rank] = obj
         self.barrier()
@@ -183,6 +213,7 @@ class CollectiveState:
         return out
 
     def allreduce(self, rank: int, obj: Any, op: Op) -> Any:
+        self._hit(rank)
         self.board[rank] = obj
         self.barrier()
         out = self._do_clone(self.board[0])
@@ -193,6 +224,7 @@ class CollectiveState:
 
     def scan(self, rank: int, obj: Any, op: Op) -> Any:
         """Inclusive prefix reduction."""
+        self._hit(rank)
         self.board[rank] = obj
         self.barrier()
         out = self._do_clone(self.board[0])
@@ -202,6 +234,7 @@ class CollectiveState:
         return out
 
     def alltoall(self, rank: int, objs: List[Any]) -> List[Any]:
+        self._hit(rank)
         if len(objs) != self.size:
             raise CountMismatchError(
                 f"alltoall needs exactly {self.size} items, got {len(objs)}"
@@ -214,6 +247,7 @@ class CollectiveState:
 
     def exchange(self, rank: int, obj: Any) -> List[Any]:
         """allgather without cloning -- used internally (e.g. split)."""
+        self._hit(rank)
         self.board[rank] = obj
         self.barrier()
         out = list(self.board)
@@ -283,9 +317,11 @@ class HierarchicalCollectiveState(CollectiveState):
         levels: Optional[Sequence[TreeLevel]] = None,
         group: Optional[Tuple[int, ...]] = None,
         share: Optional[Callable[[int, int], bool]] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         super().__init__(
-            size, abort_flag, timeout=timeout, clone=clone, metrics=metrics
+            size, abort_flag, timeout=timeout, clone=clone, metrics=metrics,
+            faults=faults,
         )
         if levels is None:
             levels = [TreeLevel("comm", (tuple(range(size)),))]
@@ -300,6 +336,15 @@ class HierarchicalCollectiveState(CollectiveState):
         self._build_tree(self.levels)
         # any arrival anywhere counts as progress for the deadline
         self._arrivals = 0
+
+    def _abort_wake(self) -> None:
+        """Abort broadcast: tasks may be parked at *any* tree node (a
+        leaf loser, a cache-group winner waiting at the numa node...).
+        Wake them all.  Runs before the tree exists when the abort beats
+        construction -- nothing to wake then."""
+        for node in getattr(self, "nodes", ()):
+            with node.cond:
+                node.cond.notify_all()
 
     # ------------------------------------------------------------------- tree
     def _build_tree(self, levels: Sequence[TreeLevel]) -> None:
@@ -352,6 +397,7 @@ class HierarchicalCollectiveState(CollectiveState):
         releases ``(winner_rank, result)`` downward.  Returns
         ``(result, winner_rank, i_won_root)``.
         """
+        self._hit(rank)
         node: Optional[_TreeNode] = self._leaf_of[rank]
         carried = dict(contribution)
         won: List[_TreeNode] = []
@@ -394,19 +440,21 @@ class HierarchicalCollectiveState(CollectiveState):
         seen = self._arrivals
         while node.generation == gen:
             if self._abort.is_set():
+                note_abort(self._abort)
                 raise AbortError(
                     f"job aborted during collective ({node.label} group)"
                 )
-            node.cond.wait(timeout=_POLL)
+            now = time.monotonic()
             if self._arrivals != seen:       # progress anywhere in the tree
                 seen = self._arrivals
-                deadline = time.monotonic() + self._timeout
-            elif time.monotonic() >= deadline:
+                deadline = now + self._timeout
+            elif now >= deadline:
                 raise DeadlockError(
                     f"hierarchical collective timed out at {node.label} "
                     f"group with {node.count}/{node.arity} arrived -- "
                     f"collective mismatch?"
                 )
+            node.cond.wait(timeout=min(deadline - now, _ABORT_TICK))
         entry = node.down[gen]
         entry[1] -= 1
         if entry[1] == 0:

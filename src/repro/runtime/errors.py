@@ -24,10 +24,31 @@ class MigrationError(MPIError):
     source and destination scope instances (paper, section IV-A)."""
 
 
+class InjectedCrash(MPIError):
+    """A fault plan crashed this task at a registered injection site
+    (:mod:`repro.faults`).  Deliberately *not* an :class:`AbortError`:
+    the crashed task is the root cause, the AbortErrors on its peers are
+    the propagation -- ``Runtime.run`` re-raises the root cause."""
+
+
+class PayloadCloneError(MPIError):
+    """Cloning a message payload failed (injected allocation failure on
+    the send-side copy path)."""
+
+
+class TransientCommError(MPIError):
+    """Transient communication-buffer exhaustion: the eager-buffer pool
+    could not satisfy an allocation *right now*.  The runtime retries
+    with bounded exponential backoff before giving up."""
+
+
 __all__ = [
     "MPIError",
     "AbortError",
     "DeadlockError",
     "CountMismatchError",
     "MigrationError",
+    "InjectedCrash",
+    "PayloadCloneError",
+    "TransientCommError",
 ]

@@ -38,6 +38,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.runtime.abort import note_abort, subscribe_abort
 from repro.runtime.errors import AbortError, DeadlockError
 
 ANY_SOURCE = -1
@@ -225,22 +226,68 @@ class Mailbox:
         self.posted = 0
         self.delivered = 0
         self.wakeups = 0   # times a parked receiver was woken
+        #: fault injector (None = chaos off; the hot path pays exactly
+        #: one attribute test); installed by Runtime.install_faults
+        self.faults: Optional[Any] = None
+        #: envelopes held back by an injected reorder, in arrival order:
+        #: ``[release deadline, envelope]`` entries.  Always empty when
+        #: no plan is installed.
+        self._held: List[List[Any]] = []
+        # Event-driven receives park on the condition; an abort must be
+        # announced, not discovered -- wake on the abort broadcast.
+        subscribe_abort(abort_flag, self.wake)
 
-    def post(self, env: Envelope) -> None:
+    def post(self, env: Envelope, *, hold: Optional[float] = None) -> None:
+        """Add a message; ``hold`` (fault injection only) keeps it
+        invisible to matching for up to that many seconds to force a
+        cross-sender reorder."""
         with self._cond:
-            self.matcher.add(env)
             self.posted += 1
+            if self._held:
+                # MPI non-overtaking: everything held from this sender
+                # must become matchable before its newer message does
+                # (plus anything whose hold expired).
+                self._release_held(src=env.src)
+            if hold is not None:
+                self._held.append([time.monotonic() + hold, env])
+                return
+            self.matcher.add(env)
             # Targeted wake: only the mailbox owner ever blocks on this
             # condition (receives are task-local), so a single notify
             # reaches exactly the right thread.
             self._cond.notify()
 
+    def _release_held(
+        self, src: Optional[int] = None, *, everything: bool = False
+    ) -> None:
+        """Move held envelopes into the matcher -- same-sender entries
+        (``src``), expired entries (always), or ``everything`` --
+        preserving arrival order.  Caller holds the condition."""
+        now = time.monotonic()
+        kept: List[List[Any]] = []
+        released = False
+        for entry in self._held:
+            deadline, env = entry
+            if everything or env.src == src or deadline <= now:
+                self.matcher.add(env)
+                released = True
+            else:
+                kept.append(entry)
+        self._held = kept
+        if released:
+            self._cond.notify()
+
     def wake(self) -> None:
         """Wake any parked receiver (abort path; see Runtime.signal_abort)."""
         with self._cond:
+            if self._held:
+                # never strand a held message behind an abort/wake
+                self._release_held(everything=True)
             self._cond.notify_all()
 
     def _take(self, source: int, tag: int, context: int) -> Optional[Envelope]:
+        if self._held:
+            self._release_held()   # expired holds only
         env = self.matcher.take(source, tag, context)
         if env is not None:
             self.delivered += 1
@@ -248,10 +295,14 @@ class Mailbox:
 
     def receive(self, source: int, tag: int, context: int) -> Envelope:
         """Block until a matching message arrives."""
+        if self.faults is not None:
+            # slow receiver / crash-mid-receive injection site
+            self.faults.hit("p2p.recv", self.owner)
         deadline = time.monotonic() + self._timeout
         with self._cond:
             while True:
                 if self._abort.is_set():
+                    note_abort(self._abort)
                     raise AbortError(f"task {self.owner}: job aborted during recv")
                 env = self._take(source, tag, context)
                 if env is not None:
@@ -276,12 +327,15 @@ class Mailbox:
         """Non-blocking matched receive (None if nothing matches)."""
         with self._cond:
             if self._abort.is_set():
+                note_abort(self._abort)
                 raise AbortError(f"task {self.owner}: job aborted")
             return self._take(source, tag, context)
 
     def probe(self, source: int, tag: int, context: int) -> Optional[Status]:
         """Non-destructive match: status of the first matching message."""
         with self._cond:
+            if self._held:
+                self._release_held()
             env = self.matcher.peek(source, tag, context)
             if env is None:
                 return None
@@ -293,7 +347,10 @@ class Mailbox:
         with self._cond:
             while True:
                 if self._abort.is_set():
+                    note_abort(self._abort)
                     raise AbortError(f"task {self.owner}: job aborted during probe")
+                if self._held:
+                    self._release_held()
                 env = self.matcher.peek(source, tag, context)
                 if env is not None:
                     return Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
@@ -308,7 +365,7 @@ class Mailbox:
 
     def pending_count(self) -> int:
         with self._cond:
-            return len(self.matcher)
+            return len(self.matcher) + len(self._held)
 
 
 __all__ = [

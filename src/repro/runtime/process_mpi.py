@@ -49,6 +49,13 @@ class ProcessRuntime(Runtime):
     COMM_PER_PAIR = 16 << 10
     EAGER_PER_CONNECTION = 256 << 10
 
+    # The per-connection eager pool is this backend's contended
+    # resource: all-to-all connection storms (Gadget-2, Table III) can
+    # transiently exhaust it, so retry harder than the thread backend
+    # before surfacing TransientCommError (see Runtime._comm_alloc).
+    ALLOC_RETRIES = 6
+    ALLOC_BACKOFF = 0.002
+
     def __init__(self, *args, **kwargs) -> None:
         if kwargs.get("sharing") == "shared":
             from repro.runtime.errors import MPIError

@@ -20,16 +20,18 @@ the address-space and copy policies to behave like Open MPI.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.machine.topology import Machine, build_machine
 from repro.machine.treemap import collective_levels
-from repro.memsim.address_space import AddressSpace
+from repro.memsim.address_space import AddressSpace, Allocation
 from repro.metrics.collectives import CollectiveMetrics
+from repro.runtime.abort import AbortSignal
 from repro.runtime.collectives import CollectiveState, HierarchicalCollectiveState
 from repro.runtime.communicator import Comm
-from repro.runtime.errors import AbortError, MPIError
+from repro.runtime.errors import AbortError, MPIError, TransientCommError
 from repro.runtime.message import Envelope, Mailbox
 from repro.runtime.payload import clone, payload_nbytes
 from repro.runtime.task import TaskContext
@@ -91,6 +93,15 @@ class Runtime:
     #: the pool above covers the rest)
     EAGER_PER_CONNECTION = 0
 
+    # Bounded retry-with-backoff for *transient* comm-buffer exhaustion
+    # (the eager pool can momentarily fail under all-to-all connection
+    # storms; the chaos harness injects exactly that).  A retry sleeps
+    # ``ALLOC_BACKOFF * 2**attempt`` seconds; after ``ALLOC_RETRIES``
+    # failed retries the TransientCommError propagates and crashes the
+    # task like any other send failure.
+    ALLOC_RETRIES = 4
+    ALLOC_BACKOFF = 0.001
+
     def __init__(
         self,
         machine: Optional[Machine] = None,
@@ -101,6 +112,7 @@ class Runtime:
         algorithm: Optional[str] = None,
         sharing: str = "private",
         matcher: str = "indexed",
+        faults: Optional[Any] = None,
     ) -> None:
         if algorithm is not None:
             if algorithm not in ("flat", "hierarchical"):
@@ -134,7 +146,18 @@ class Runtime:
         else:
             self._pin = [i % machine.n_pus for i in range(self.n_tasks)]
         self.timeout = timeout
-        self.abort_flag = threading.Event()
+        # Subscribable abort: every blocking primitive registers a waker,
+        # so one set() wakes tasks parked anywhere (mailboxes, collective
+        # trees, HLS scopes) -- abort is announced, never discovered.
+        self.abort_flag = AbortSignal()
+        #: fault injector (None = chaos off; see repro.faults)
+        self.faults = None
+        self._retry_lock = threading.Lock()
+        #: comm-buffer allocation retries performed (transient exhaustion)
+        self.comm_alloc_retries = 0
+        #: seconds from abort_flag.set() to the last task terminating
+        #: (measured by run(); None when the job never aborted)
+        self.abort_recovery_s: Optional[float] = None
         self._mailboxes = [
             Mailbox(r, self.abort_flag, timeout=timeout, matcher=matcher)
             for r in range(self.n_tasks)
@@ -160,6 +183,36 @@ class Runtime:
         self._spaces: Dict[int, AddressSpace] = {}
         self._alloc_runtime_memory()
         self.contexts: List[Optional[TaskContext]] = [None] * self.n_tasks
+        if faults is not None:
+            self.install_faults(faults)
+
+    # ------------------------------------------------------------- chaos
+    def install_faults(self, plan: Any) -> Any:
+        """Install a fault plan (or a prebuilt injector): thread the
+        injector into every mailbox and every existing collective engine.
+        Install *before* ``run()`` -- lazily created states pick the
+        injector up at construction.  Returns the injector."""
+        from repro.faults import FaultInjector
+
+        if isinstance(plan, FaultInjector):
+            injector = plan
+            injector.runtime = self
+        else:
+            injector = FaultInjector(plan, runtime=self)
+        self.faults = injector
+        for mbox in self._mailboxes:
+            mbox.faults = injector
+        with self._coll_lock:
+            for st in self._coll_states.values():
+                st.faults = injector
+        return injector
+
+    def fault_metrics(self):
+        """Snapshot of the chaos counters (injections fired, aborts
+        propagated, comm-buffer retries, recovery latency)."""
+        from repro.metrics.faults import FaultMetrics
+
+        return FaultMetrics.from_runtime(self)
 
     # ------------------------------------------------------------- placement
     def task_pu(self, rank: int) -> int:
@@ -264,11 +317,13 @@ class Runtime:
                         clone=clone, metrics=self.collective_metrics,
                         levels=levels, group=tuple(group),
                         share=self._collective_share_check(),
+                        faults=self.faults,
                     )
                 else:
                     st = CollectiveState(
                         size, self.abort_flag, timeout=self.timeout,
                         clone=clone, metrics=self.collective_metrics,
+                        faults=self.faults,
                     )
                 self._coll_states[context] = st
             elif st.size != size:
@@ -300,11 +355,44 @@ class Runtime:
 
         return P2PMetrics.from_runtime(self)
 
+    def _comm_alloc(
+        self, space: AddressSpace, nbytes: int, *, label: str, owner: int,
+        task: int,
+    ) -> Allocation:
+        """Allocate communication-buffer memory, retrying transient
+        exhaustion with bounded exponential backoff (see ALLOC_RETRIES).
+        The injection site fires once per *attempt*, so a plan can make
+        the first k attempts fail and let the retry succeed."""
+        attempt = 0
+        while True:
+            try:
+                f = self.faults
+                if f is not None:
+                    f.hit("p2p.alloc", task)
+                return space.alloc(nbytes, label=label, kind="runtime",
+                                   owner=owner)
+            except TransientCommError:
+                if attempt >= self.ALLOC_RETRIES:
+                    raise
+                with self._retry_lock:
+                    self.comm_alloc_retries += 1
+                time.sleep(self.ALLOC_BACKOFF * (2 ** attempt))
+                attempt += 1
+
     def post_message(
         self, src: int, dst: int, tag: int, context: int, obj: Any
     ) -> None:
         if not 0 <= dst < self.n_tasks:
             raise MPIError(f"send to unknown rank {dst}")
+        hold: Optional[float] = None
+        f = self.faults
+        if f is not None:
+            # delivery injection site: delay/crash/clone_fail fire
+            # inside hit; a reorder is returned for the mailbox to hold
+            # the envelope back
+            act = f.hit("p2p.post", src)
+            if act is not None and act[0] == "reorder":
+                hold = act[1]
         intra = self.same_node(src, dst)
         copy_now = self.copy_at_send_intra_node or not intra
         nbytes = payload_nbytes(obj)   # measured once, before any clone
@@ -317,13 +405,13 @@ class Runtime:
             # appear at both endpoints (Open MPI's lazy connection setup;
             # this is why all-to-all applications like Gadget-2 blow up
             # the process-based runtime's memory in Table III)
-            self.space_for(src).alloc(
-                self.EAGER_PER_CONNECTION,
-                label=f"eager-send({src}->{dst})", kind="runtime", owner=src,
+            self._comm_alloc(
+                self.space_for(src), self.EAGER_PER_CONNECTION,
+                label=f"eager-send({src}->{dst})", owner=src, task=src,
             )
-            self.space_for(dst).alloc(
-                self.EAGER_PER_CONNECTION,
-                label=f"eager-recv({src}->{dst})", kind="runtime", owner=dst,
+            self._comm_alloc(
+                self.space_for(dst), self.EAGER_PER_CONNECTION,
+                label=f"eager-recv({src}->{dst})", owner=dst, task=src,
             )
         env = Envelope(
             src=src, dst=dst, tag=tag, context=context,
@@ -341,7 +429,10 @@ class Runtime:
             shard.send_copies += 1
         if self.tracer is not None:
             self.tracer.record_send(src, dst, tag, context, seq)
-        self._mailboxes[dst].post(env)
+        if hold is not None:
+            self._mailboxes[dst].post(env, hold=hold)
+        else:
+            self._mailboxes[dst].post(env)
 
     def note_delivery(self, env: Envelope, *, copied: bool) -> None:
         shard = self._stat_shards[env.dst]
@@ -355,12 +446,13 @@ class Runtime:
 
     # ------------------------------------------------------------------ abort
     def signal_abort(self) -> None:
-        """Set the abort flag and wake every receiver parked in a
-        mailbox.  Blocking receives are event-driven (no fixed-rate
-        poll), so an abort must be announced, not discovered."""
+        """Set the abort flag, waking every parked task.  Blocking
+        operations are event-driven (no fixed-rate poll), so an abort
+        must be announced, not discovered: each mailbox, collective
+        engine and HLS scope state subscribed a waker to the
+        :class:`AbortSignal` at construction, and ``set()`` runs them
+        all."""
         self.abort_flag.set()
-        for mbox in self._mailboxes:
-            mbox.wake()
 
     # ------------------------------------------------------------------ run
     def run(self, main: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
@@ -391,6 +483,10 @@ class Runtime:
             t.start()
         for t in threads:
             t.join()
+        if self.abort_flag.set_at is not None:
+            # chaos accounting: how long between the abort being raised
+            # and the last surviving task terminating
+            self.abort_recovery_s = time.monotonic() - self.abort_flag.set_at
         if errors:
             errors.sort(key=lambda e: e[0])
             rank, exc = errors[0]

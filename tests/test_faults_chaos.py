@@ -1,0 +1,301 @@
+"""Chaos battery: seeded random fault plans against real workloads.
+
+The invariant under test is *liveness under perturbation*: whatever a
+(valid) plan injects -- delays, reorders, spurious wakeups, transient
+allocation failures, outright crashes -- every run must end, within the
+deadlock timeout, in either a clean result or a clean ``MPIError``
+(usually ``InjectedCrash`` at the root, ``AbortError`` on the peers).
+A hang is the only failure mode, and the per-test timeout turns a hang
+into a failure.
+
+Reproducing a failure: every unexpected outcome dumps the offending
+plan to ``chaos_failplan_seed<N>.json`` (uploaded as a CI artifact);
+feed it back with ``FaultPlan.load(path)`` + ``rt.install_faults``.
+
+``REPRO_CHAOS_SEEDS`` overrides the sweep width (default 20 seeds);
+``REPRO_SHARING=shared`` runs the thread runtime with the zero-copy
+delivery policy.
+"""
+
+import os
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.hls import HLSProgram
+from repro.machine import core2_cluster
+from repro.runtime import (
+    AbortError,
+    InjectedCrash,
+    MPIError,
+    Runtime,
+    SUM,
+)
+
+#: sweep width; CI may widen it, a laptop may narrow it
+N_SEEDS = int(os.environ.get("REPRO_CHAOS_SEEDS", "20"))
+#: sharing policy for the thread runtime (stress-suite convention)
+SHARING = os.environ.get("REPRO_SHARING", "private")
+
+N_TASKS = 8
+TIMEOUT = 10.0
+
+
+def make_runtime(plan=None, **kw):
+    rt = Runtime(
+        core2_cluster(1), n_tasks=N_TASKS, timeout=TIMEOUT,
+        sharing=SHARING, **kw,
+    )
+    if plan is not None:
+        rt.install_faults(plan)
+    return rt
+
+
+# --------------------------------------------------------------- workloads
+def wl_p2p_alltoall(ctx):
+    """Two rounds of all-to-all point-to-point traffic."""
+    total = 0
+    for rnd in range(2):
+        for peer in range(ctx.size):
+            if peer != ctx.rank:
+                ctx.comm_world.send((rnd, ctx.rank), dest=peer, tag=rnd)
+        for peer in range(ctx.size):
+            if peer != ctx.rank:
+                r, src = ctx.comm_world.recv(source=peer, tag=rnd)
+                assert r == rnd and src == peer
+                total += src
+    return total
+
+
+def wl_collectives(ctx):
+    """A mix of hierarchical collectives (the tree sweep hot path)."""
+    token = ctx.comm_world.bcast("go" if ctx.rank == 0 else None)
+    assert token == "go"
+    s = ctx.comm_world.allreduce(ctx.rank, op=SUM)
+    ctx.comm_world.barrier()
+    ranks = ctx.comm_world.allgather(ctx.rank)
+    assert ranks == list(range(ctx.size))
+    return s
+
+
+def wl_hls_nowait(program):
+    """HLS single-nowait work queue + plain singles + scope barriers."""
+    def main(ctx):
+        h = program.attach(ctx)
+        done = 0
+        for _ in range(4):
+            if h.single_enter("q", nowait=True):
+                h.get("q")[0] += 1.0
+                done += 1
+            h.barrier("q")
+            if h.single_enter("q"):
+                h.get("q")[1] += 1.0
+                h.single_done("q")
+        return (done, float(h.get("q")[0]), float(h.get("q")[1]))
+    return main
+
+
+def run_workload(name, rt):
+    if name == "p2p":
+        return rt.run(wl_p2p_alltoall)
+    if name == "coll":
+        return rt.run(wl_collectives)
+    if name == "hls":
+        prog = HLSProgram(rt)
+        prog.declare("q", shape=(2,), scope="node")
+        return rt.run(wl_hls_nowait(prog))
+    raise AssertionError(name)
+
+
+#: which injection sites each workload actually exercises (plans over
+#: unvisited sites test nothing)
+WORKLOAD_SITES = {
+    "p2p": ("p2p.post", "p2p.recv", "p2p.alloc"),
+    "coll": ("coll.sweep",),
+    "hls": ("hls.single", "hls.nowait", "hls.barrier"),
+}
+
+
+def check_clean(name, plan, outcome_ok):
+    """Assert the run ended cleanly; dump the plan artifact if not."""
+    if outcome_ok:
+        return
+    path = f"chaos_failplan_seed{plan.seed}.json"
+    plan.dump(path)
+    pytest.fail(
+        f"chaos run ({name}, seed {plan.seed}) ended badly -- "
+        f"plan saved to {path}"
+    )
+
+
+# ------------------------------------------------------------- seeded sweep
+@pytest.mark.parametrize("workload", ["p2p", "coll", "hls"])
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_chaos_sweep_terminates_cleanly(workload, seed):
+    """Random plan, real workload: clean result or clean MPIError,
+    never a hang (the suite timeout enforces the 'never')."""
+    plan = FaultPlan.random(
+        seed, N_TASKS,
+        n_faults=6,
+        sites=WORKLOAD_SITES[workload],
+        max_nth=8,
+        max_delay=0.005,
+    )
+    rt = make_runtime(plan)
+    start = time.monotonic()
+    try:
+        run_workload(workload, rt)
+        ok = True
+    except MPIError:
+        ok = True       # clean failure: the root cause propagated
+    except Exception:
+        ok = False      # anything else is a harness bug
+    elapsed = time.monotonic() - start
+    check_clean(workload, plan, ok)
+    assert elapsed < TIMEOUT * 3, "termination took longer than the watchdog"
+    # the abort path, when taken, must come down fast
+    if rt.abort_recovery_s is not None:
+        assert rt.abort_recovery_s < TIMEOUT
+
+
+def canonical(workload, result):
+    """Schedule-invariant view of a workload result: which task wins an
+    hls ``single nowait`` is legitimately schedule-dependent, so for the
+    hls workload compare the aggregate (exactly 4 executions, every rank
+    seeing the final counter), not the per-rank winner split."""
+    if workload == "hls":
+        return (
+            sum(d for d, _, _ in result),
+            sorted((a, b) for _, a, b in result),
+        )
+    return result
+
+
+@pytest.mark.parametrize("workload", ["p2p", "coll", "hls"])
+def test_chaos_soft_perturbations_preserve_results(workload):
+    """Crash-free plans may slow a run down but must not corrupt it:
+    the perturbed result equals the undisturbed one."""
+    baseline = canonical(workload, run_workload(workload, make_runtime()))
+    for seed in range(min(N_SEEDS, 10)):
+        plan = FaultPlan.random(
+            seed, N_TASKS,
+            n_faults=6,
+            sites=WORKLOAD_SITES[workload],
+            max_nth=8,
+            max_delay=0.005,
+            crash_rate=0.0,
+        )
+        rt = make_runtime(plan)
+        try:
+            result = run_workload(workload, rt)
+        except MPIError as exc:  # pragma: no cover - diagnostic path
+            plan.dump(f"chaos_failplan_seed{seed}.json")
+            pytest.fail(f"soft plan (seed {seed}) crashed the job: {exc}")
+        assert canonical(workload, result) == baseline, (
+            f"seed {seed} corrupted the result"
+        )
+
+
+# ----------------------------------------------------- crash at every site
+CRASH_SITES = [
+    ("p2p.post", "p2p"),       # delivery, sender side
+    ("p2p.recv", "p2p"),       # delivery, receiver side
+    ("coll.sweep", "coll"),    # collective sweep
+    ("hls.barrier", "hls"),    # scope barrier
+    ("hls.single", "hls"),     # hls single (nowait enter in the workload)
+]
+
+
+@pytest.mark.parametrize("site,workload", CRASH_SITES)
+def test_crash_at_each_site_aborts_everyone(site, workload):
+    """A crash injected at any site category must terminate every
+    surviving task with AbortError well inside the deadlock timeout,
+    and run() must re-raise the InjectedCrash as the root cause."""
+    plan = FaultPlan.single(site, "crash", task=3, nth=1)
+    rt = make_runtime(plan)
+    start = time.monotonic()
+    with pytest.raises(InjectedCrash):
+        run_workload(workload, rt)
+    elapsed = time.monotonic() - start
+    # run() joined every thread, so returning at all proves no task is
+    # still blocked; the clock proves the abort woke the parked ones
+    # rather than their timeouts expiring.
+    assert elapsed < TIMEOUT, f"abort propagation took {elapsed:.1f}s"
+    m = rt.fault_metrics()
+    assert m.fired.get("crash") == 1
+    assert m.aborts_propagated >= 1, "no parked task was woken by the abort"
+    assert m.recovery_latency_s is not None
+    assert m.recovery_latency_s < TIMEOUT
+
+
+def test_injected_crash_is_not_an_abort_error():
+    # the root-cause preference in run() depends on this distinction
+    assert issubclass(InjectedCrash, MPIError)
+    assert not issubclass(InjectedCrash, AbortError)
+
+
+# ------------------------------------------------------------ record/replay
+@pytest.mark.parametrize("workload", ["p2p", "coll", "hls"])
+def test_record_replay_bit_for_bit(workload):
+    """to_json -> from_json -> rerun reproduces the identical injection
+    sequence: same canonical JSON, same sorted fired-log."""
+    plan = FaultPlan.random(
+        1234, N_TASKS,
+        n_faults=8,
+        sites=WORKLOAD_SITES[workload],
+        max_nth=6,
+        max_delay=0.002,
+        crash_rate=0.0,   # crash-free: every task completes its sequence
+    )
+    rt1 = make_runtime(plan)
+    run_workload(workload, rt1)
+    recorded = rt1.faults.sorted_log()
+
+    replayed_plan = FaultPlan.from_json(plan.to_json())
+    assert replayed_plan.to_json() == plan.to_json()
+    rt2 = make_runtime(replayed_plan)
+    run_workload(workload, rt2)
+    assert rt2.faults.sorted_log() == recorded
+
+
+def test_replay_from_dumped_artifact(tmp_path):
+    """The CI artifact round-trip: dump on failure, load, reproduce."""
+    plan = FaultPlan.single("p2p.post", "crash", task=1, nth=3)
+    path = tmp_path / "chaos_failplan_seed0.json"
+    plan.dump(path)
+
+    rt = make_runtime(FaultPlan.load(path))
+    with pytest.raises(InjectedCrash):
+        run_workload("p2p", rt)
+    assert rt.faults.sorted_log() == [("p2p.post", 1, 3, "crash")]
+
+
+# ----------------------------------------------------- hypothesis property
+@settings(max_examples=20, deadline=None)
+@given(
+    victim=st.integers(min_value=0, max_value=N_TASKS - 1),
+    step=st.integers(min_value=1, max_value=4),
+)
+def test_crash_at_step_n_during_hierarchical_reduce(victim, step):
+    """Property: crashing any task at any sweep step of a hierarchical
+    reduce chain leaves no task blocked, and the chaos stats are
+    consistent with exactly one injected crash."""
+    plan = FaultPlan.single("coll.sweep", "crash", task=victim, nth=step)
+    rt = make_runtime(plan, algorithm="hierarchical")
+
+    def chain(ctx):
+        acc = ctx.rank
+        for _ in range(4):
+            acc = ctx.comm_world.allreduce(acc, op=SUM)
+        return acc
+
+    with pytest.raises(InjectedCrash):
+        rt.run(chain)
+    # run() joined all threads: nobody is blocked.  Stats consistency:
+    m = rt.fault_metrics()
+    assert m.fired == {"crash": 1}
+    assert m.hits >= step            # the victim reached its window
+    assert m.aborts_propagated >= 1
+    assert m.recovery_latency_s is not None and m.recovery_latency_s < TIMEOUT
