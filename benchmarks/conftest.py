@@ -6,11 +6,12 @@ repro.experiments --full``).  Each benchmark stores the reproduced
 metric (efficiency, MB/node, flops/cycle...) in ``extra_info`` so the
 paper-vs-measured comparison survives in the benchmark JSON.
 
-P2P benchmarks additionally call :func:`record_p2p`; at session end the
-queued measurements are appended to ``BENCH_p2p.json`` at the repo root
--- a *trajectory* artifact (one entry per benchmark run) that future
-PRs diff against to assert the message-rate/latency numbers did not
-regress.
+P2P and RMA benchmarks additionally call :func:`record_p2p` /
+:func:`record_rma`; at session end the queued measurements are appended
+to ``BENCH_p2p.json`` / ``BENCH_rma.json`` at the repo root --
+*trajectory* artifacts (one entry per benchmark run) that future PRs
+diff against to assert the message-rate/latency/zero-copy numbers did
+not regress.
 """
 
 import json
@@ -20,10 +21,14 @@ import time
 
 import pytest
 
-_P2P_RESULTS = []
-_BENCH_P2P_PATH = os.path.abspath(
-    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_p2p.json")
-)
+_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+#: per-artifact measurement queues, drained at session end
+_QUEUES = {"p2p": [], "rma": []}
+_PATHS = {
+    "p2p": os.path.join(_ROOT, "BENCH_p2p.json"),
+    "rma": os.path.join(_ROOT, "BENCH_rma.json"),
+}
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -34,22 +39,17 @@ def run_once(benchmark, fn, *args, **kwargs):
 
 def record_p2p(name, **fields):
     """Queue one P2P measurement for the BENCH_p2p.json trajectory."""
-    _P2P_RESULTS.append({"name": name, **fields})
+    _QUEUES["p2p"].append({"name": name, **fields})
 
 
-def pytest_sessionfinish(session, exitstatus):
-    # pytest imports this file as top-level ``conftest`` while the
-    # benchmarks import it as ``benchmarks.conftest`` -- two module
-    # instances, two queues.  Drain both.
-    results = list(_P2P_RESULTS)
-    twin = sys.modules.get("benchmarks.conftest")
-    if twin is not None and twin._P2P_RESULTS is not _P2P_RESULTS:
-        results.extend(twin._P2P_RESULTS)
-        twin._P2P_RESULTS.clear()
-    if not results:
-        return
+def record_rma(name, **fields):
+    """Queue one RMA measurement for the BENCH_rma.json trajectory."""
+    _QUEUES["rma"].append({"name": name, **fields})
+
+
+def _append_trajectory(path, results):
     try:
-        with open(_BENCH_P2P_PATH) as fh:
+        with open(path) as fh:
             trajectory = json.load(fh)
         if not isinstance(trajectory, list):
             trajectory = []
@@ -59,7 +59,21 @@ def pytest_sessionfinish(session, exitstatus):
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "results": results,
     })
-    with open(_BENCH_P2P_PATH, "w") as fh:
+    with open(path, "w") as fh:
         json.dump(trajectory, fh, indent=2)
         fh.write("\n")
-    _P2P_RESULTS.clear()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # pytest imports this file as top-level ``conftest`` while the
+    # benchmarks import it as ``benchmarks.conftest`` -- two module
+    # instances, two sets of queues.  Drain both.
+    twin = sys.modules.get("benchmarks.conftest")
+    for key, queue in _QUEUES.items():
+        results = list(queue)
+        queue.clear()
+        if twin is not None and twin._QUEUES[key] is not queue:
+            results.extend(twin._QUEUES[key])
+            twin._QUEUES[key].clear()
+        if results:
+            _append_trajectory(_PATHS[key], results)

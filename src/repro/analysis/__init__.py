@@ -11,7 +11,11 @@
 """
 
 from repro.analysis.events import Event, EventKind, Trace
-from repro.analysis.happens_before import HappensBefore, TraceError
+from repro.analysis.happens_before import (
+    HappensBefore,
+    TraceError,
+    rma_epoch_violations,
+)
 from repro.analysis.coherence import (
     ReadCheck,
     VariableCoherence,
@@ -40,6 +44,7 @@ __all__ = [
     "Trace",
     "HappensBefore",
     "TraceError",
+    "rma_epoch_violations",
     "ReadCheck",
     "VariableCoherence",
     "check_read",

@@ -22,6 +22,12 @@ class EventKind(enum.Enum):
     RECV = "recv"
     COLLECTIVE = "collective"
     HLS_SYNC = "hls_sync"
+    #: one-sided access (put/get/accumulate); ``peer`` is the target,
+    #: ``win`` the window id, ``op`` the access kind
+    RMA = "rma"
+    #: RMA epoch boundary (fence/post/start/complete/wait/lock/...);
+    #: ``op`` names the call, ``group``/``peer`` its targets
+    EPOCH = "epoch"
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,8 @@ class Event:
     epoch: Optional[int] = None
     op: Optional[str] = None
     group: Optional[Tuple[int, ...]] = None
+    # RMA fields: the window the access/epoch call belongs to
+    win: Optional[int] = None
 
     @property
     def eid(self) -> Tuple[int, int]:
@@ -100,6 +108,36 @@ class Trace:
         return self._append(
             task, kind=EventKind.COLLECTIVE, context=context, epoch=epoch,
             op=op, group=tuple(group) if group is not None else None,
+        )
+
+    def rma(
+        self,
+        task: int,
+        *,
+        win: int,
+        op: str,
+        target: int,
+        nbytes: Optional[int] = None,
+    ) -> Event:
+        """A one-sided access (put/get/accumulate) by ``task``."""
+        return self._append(
+            task, kind=EventKind.RMA, win=win, op=op, peer=target,
+            value=nbytes,
+        )
+
+    def epoch_call(
+        self,
+        task: int,
+        *,
+        win: int,
+        op: str,
+        target: Optional[int] = None,
+        group: Optional[Sequence[int]] = None,
+    ) -> Event:
+        """An RMA epoch boundary (fence/post/start/complete/wait/lock)."""
+        return self._append(
+            task, kind=EventKind.EPOCH, win=win, op=op, peer=target,
+            group=tuple(group) if group is not None else None,
         )
 
     def barrier_all(self, *, context: int = 0, epoch: int) -> List[Event]:

@@ -134,4 +134,58 @@ class HappensBefore:
         return order
 
 
-__all__ = ["HappensBefore", "TraceError"]
+def rma_epoch_violations(trace: Trace) -> List[Tuple[Event, str]]:
+    """Offline RMA epoch-misuse detection over one trace.
+
+    Replays each task's program order tracking the origin-side epoch
+    state per window -- fence epochs (``fence`` opens, ``fence_end``
+    closes), PSCW access epochs (``start`` opens for its group,
+    ``complete`` closes) and passive-target locks (``lock_*``/
+    ``lock_all`` open per target, ``unlock``/``unlock_all`` close) --
+    and reports every :attr:`EventKind.RMA` access not covered by an
+    open epoch for its target, the same rule the runtime enforces
+    online with :class:`~repro.runtime.errors.RMAEpochError`.
+    """
+    violations: List[Tuple[Event, str]] = []
+    for seq in trace.events:
+        fence_open: Dict[int, bool] = {}
+        started: Dict[int, Tuple[int, ...]] = {}
+        locks: Dict[int, set] = {}
+        lock_all: Dict[int, bool] = {}
+        for ev in seq:
+            win = ev.win if ev.win is not None else -1
+            if ev.kind is EventKind.EPOCH:
+                op = ev.op or ""
+                if op == "fence":
+                    fence_open[win] = True
+                elif op == "fence_end":
+                    fence_open[win] = False
+                elif op == "start":
+                    started[win] = ev.group or ()
+                elif op == "complete":
+                    started.pop(win, None)
+                elif op.startswith("lock_") and op != "lock_all":
+                    locks.setdefault(win, set()).add(ev.peer)
+                elif op == "unlock":
+                    locks.get(win, set()).discard(ev.peer)
+                elif op == "lock_all":
+                    lock_all[win] = True
+                elif op == "unlock_all":
+                    lock_all[win] = False
+            elif ev.kind is EventKind.RMA:
+                covered = (
+                    fence_open.get(win, False)
+                    or ev.peer in started.get(win, ())
+                    or lock_all.get(win, False)
+                    or ev.peer in locks.get(win, set())
+                )
+                if not covered:
+                    violations.append((
+                        ev,
+                        f"{ev.op} to target {ev.peer} on window {win} "
+                        f"outside any access epoch",
+                    ))
+    return violations
+
+
+__all__ = ["HappensBefore", "TraceError", "rma_epoch_violations"]

@@ -64,6 +64,25 @@ class Tracer:
                 rank, context=context, epoch=epoch, op=kind, group=group
             )
 
+    def record_rma(
+        self, origin: int, win: int, op: str, target: int, nbytes: int
+    ) -> None:
+        """Record a one-sided access (put/get/accumulate) by ``origin``."""
+        with self._lock:
+            self.trace.rma(origin, win=win, op=op, target=target, nbytes=nbytes)
+
+    def record_epoch(
+        self,
+        rank: int,
+        win: int,
+        op: str,
+        target: Optional[int] = None,
+        group: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Record an RMA epoch boundary (fence/post/start/.../unlock)."""
+        with self._lock:
+            self.trace.epoch_call(rank, win=win, op=op, target=target, group=group)
+
     # ---------------------------------------------------- access recording
     def read(self, rank: int, var: str, value: Any) -> None:
         """Record that ``rank`` read ``value`` from global ``var``."""

@@ -7,109 +7,97 @@ node."  This is the manual alternative HLS automates: the user must
 split a node communicator, allocate the window collectively, compute
 the offsets of peers' portions, and synchronise explicitly.
 
-:class:`SharedWindow` reproduces the ``MPI_Win_allocate_shared`` /
-``MPI_Win_shared_query`` / ``MPI_Win_fence`` surface on the thread
-runtime.  The ablation bench contrasts the number of code-level steps
-against the two pragmas HLS needs.
+:class:`SharedWindow` keeps the ablation bench's historical surface
+(``allocate_shared`` / ``shared_query`` / ``fence``) but is now a thin
+adapter over the first-class one-sided subsystem of
+:mod:`repro.runtime.rma` -- the full ``MPI_Win`` surface (put/get/
+accumulate, PSCW, passive-target locks) lives there; this wrapper only
+reproduces the minimal code-level steps the paper's comparison counts.
+
+Allocation is validated: per-rank segments must not overlap or escape
+the window, and the process backend -- which has no shared address
+space to map the window into -- raises ``MPIError`` instead of
+silently handing out a private buffer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro.runtime.communicator import Comm
 from repro.runtime.errors import MPIError
+from repro.runtime.rma import Win
 
 
-@dataclass
-class _WindowState:
-    """Node-shared backing state of a window (one per allocation)."""
+class _StateView:
+    """Back-compat view of the window's shared backing state."""
 
-    buffer: np.ndarray
-    offsets: Dict[int, int]
-    sizes: Dict[int, int]
-    alloc: Optional[object] = None
+    def __init__(self, shared) -> None:
+        self._shared = shared
+
+    @property
+    def buffer(self) -> np.ndarray:
+        return self._shared.base
+
+    @property
+    def offsets(self) -> Dict[int, int]:
+        return self._shared.offsets
+
+    @property
+    def sizes(self) -> Dict[int, int]:
+        return self._shared.sizes
 
 
 class SharedWindow:
     """One rank's handle on a shared window."""
 
-    def __init__(self, state: _WindowState, comm: Comm) -> None:
-        self._state = state
-        self.comm = comm
+    def __init__(self, win: Win) -> None:
+        self._win = win
+        self.comm: Comm = win.comm
+        self._state = _StateView(win._shared)
 
     # ------------------------------------------------------------ allocation
     @classmethod
     def allocate_shared(
-        cls, comm: Comm, local_count: int, dtype=np.float64
+        cls,
+        comm: Comm,
+        local_count: int,
+        dtype=np.float64,
+        *,
+        offsets: Optional[Dict[int, int]] = None,
     ) -> "SharedWindow":
         """Collective allocation (MPI_Win_allocate_shared analog).
 
         Every rank of ``comm`` contributes ``local_count`` elements;
-        tasks must share a node (use ``comm.split_by_node()`` first)."""
-        rt = comm.runtime
-        world = [comm.to_world(r) for r in range(comm.size)]
-        node0 = rt.node_of(world[0])
-        if any(rt.node_of(w) != node0 for w in world):
-            raise MPIError(
-                "shared windows require all ranks of the communicator to "
-                "share a node (use comm.split_by_node() first)"
-            )
-        sizes = comm.allgather(int(local_count))
-        size_map = {r: int(s) for r, s in enumerate(sizes)}
-        if comm.rank == 0:
-            dt = np.dtype(dtype)
-            total = sum(size_map.values())
-            offsets: Dict[int, int] = {}
-            off = 0
-            for rank in sorted(size_map):
-                offsets[rank] = off
-                off += size_map[rank]
-            state = _WindowState(
-                buffer=np.zeros(total, dtype=dt),
-                offsets=offsets,
-                sizes=size_map,
-            )
-            state.alloc = rt.node_space(node0).alloc(
-                max(state.buffer.nbytes, 1), label="mpi3-shared-window", kind="app"
-            )
-        else:
-            state = None
-        # Publish the shared state by reference (exchange does not
-        # clone): every rank maps the *same* buffer, which is the whole
-        # point of a shared window.
-        published = comm._coll.exchange(comm.rank, state)
-        return cls(published[0], comm)
+        tasks must share a node (use ``comm.split_by_node()`` first)
+        and the backend must map a shared address space (the process
+        baseline raises ``MPIError``).  ``offsets`` optionally overrides
+        the contiguous layout; out-of-range or overlapping segments are
+        rejected."""
+        if local_count < 0:
+            raise MPIError("local_count must be >= 0")
+        return cls(
+            Win.allocate_shared(comm, local_count, dtype, offsets=offsets)
+        )
 
     # ---------------------------------------------------------------- access
     def local(self) -> np.ndarray:
         """This rank's portion (regular loads/stores)."""
-        return self.shared_query(self.comm.rank)
+        return self._win.local()
 
     def shared_query(self, rank: int) -> np.ndarray:
         """Any rank's portion (MPI_Win_shared_query analog)."""
-        st = self._state
-        if rank not in st.offsets:
-            raise MPIError(f"rank {rank} not in window")
-        off = st.offsets[rank]
-        return st.buffer[off:off + st.sizes[rank]]
+        return self._win.shared_query(rank)
 
     def fence(self) -> None:
         """Window synchronisation (MPI_Win_fence analog)."""
-        self.comm.barrier()
+        self._win.fence()
 
     def free(self) -> None:
         """Collective: release the simulated allocation."""
-        self.comm.barrier()
-        st = self._state
-        if self.comm.rank == 0 and st.alloc is not None:
-            rt = self.comm.runtime
-            rt.node_space(rt.node_of(self.comm.world_rank)).free(st.alloc)
-            st.alloc = None
-        self.comm.barrier()
+        self._win.free()
 
 
 __all__ = ["SharedWindow"]

@@ -38,6 +38,12 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "hls.barrier": ("delay", "crash", "wake"),
     "hls.single": ("delay", "crash", "wake"),
     "hls.nowait": ("delay", "crash", "wake"),
+    # one-sided windows (repro.runtime.rma): origin side of put /
+    # accumulate, origin side of get, and every epoch call
+    # (fence / post / start / complete / wait / lock / unlock)
+    "rma.put": ("delay", "crash", "wake"),
+    "rma.get": ("delay", "crash", "wake"),
+    "rma.epoch": ("delay", "crash", "wake"),
 }
 
 #: all actions any site understands

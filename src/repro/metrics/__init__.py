@@ -4,6 +4,7 @@ from repro.metrics.memory import MemorySampler, MemoryReport
 from repro.metrics.collectives import CollectiveMetrics
 from repro.metrics.faults import FaultMetrics
 from repro.metrics.p2p import P2PMetrics
+from repro.metrics.rma import RMAMetrics
 from repro.metrics.perf import parallel_efficiency, relative_performance
 from repro.metrics.report import Table, format_mb
 from repro.metrics.ascii_plot import line_chart
@@ -14,6 +15,7 @@ __all__ = [
     "CollectiveMetrics",
     "FaultMetrics",
     "P2PMetrics",
+    "RMAMetrics",
     "parallel_efficiency",
     "relative_performance",
     "Table",

@@ -56,13 +56,21 @@ class MemorySampler:
 
     def report(self, *, skip_startup: int = 1) -> MemoryReport:
         """Aggregate; ``skip_startup`` drops the first samples of each
-        node (the paper reports the stable post-startup average)."""
+        node (the paper reports the stable post-startup average).
+
+        A node whose series has ``skip_startup`` samples or fewer falls
+        back to its untrimmed series -- trimming would leave an empty
+        list and a mean over zero samples."""
+        if skip_startup < 0:
+            raise ValueError(f"skip_startup must be >= 0, got {skip_startup}")
         if not self._series:
             raise ValueError("no samples recorded")
         per_node: Dict[int, float] = {}
         count = 0
         for node, series in self._series.items():
-            tail = series[skip_startup:] if len(series) > skip_startup else series
+            tail = series[skip_startup:]
+            if not tail:
+                tail = series
             per_node[node] = float(np.mean(tail))
             count += len(series)
         values = list(per_node.values())

@@ -1,0 +1,121 @@
+"""One-sided (RMA) path counters.
+
+The RMA subsystem's performance claims -- the intra-node zero-copy
+load/store fast path and the process backend's per-origin mirror-copy
+emulation -- are made observable here.  Counters live on each window's
+shared state (:class:`repro.runtime.rma._WinShared`) and are
+*aggregated on read* across every window a runtime ever created, the
+same snapshot pattern as :class:`~repro.metrics.p2p.P2PMetrics`.
+
+``RMAMetrics.from_runtime(rt)`` -- or ``rt.rma_metrics()`` -- takes the
+snapshot; ``snapshot()`` returns it as a plain dict for benchmark
+``extra_info`` and the ``BENCH_rma.json`` trajectory artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.metrics.report import Table
+
+
+@dataclass
+class RMAMetrics:
+    """One runtime's aggregated one-sided counters."""
+
+    #: windows ever created on the runtime
+    windows: int = 0
+    #: one-sided operations issued
+    puts: int = 0
+    gets: int = 0
+    accumulates: int = 0
+    #: payload bytes moved by all one-sided operations
+    bytes: int = 0
+    #: staging copies made on non-direct accesses (origin serialisation,
+    #: plus the process backend's mirror delivery copy)
+    staged_copies: int = 0
+    staged_bytes: int = 0
+    #: direct load/store accesses against the target segment (the
+    #: intra-node zero-copy fast path) and the bytes they moved without
+    #: any staging copy
+    zero_copy_hits: int = 0
+    zero_copy_bytes: int = 0
+    #: blocking epoch calls (start/wait/lock/lock_all) that parked
+    epoch_waits: int = 0
+    #: fence episodes and passive-target lock acquisitions
+    fences: int = 0
+    locks: int = 0
+    #: bytes of per-origin mirror copies (process-backend emulation)
+    mirror_bytes: int = 0
+
+    @classmethod
+    def from_runtime(cls, runtime: Any) -> "RMAMetrics":
+        """Aggregate the per-window counters of one runtime."""
+        m = cls()
+        for st in getattr(runtime, "_windows", []):
+            if st is None:
+                continue
+            m.windows += 1
+            c = st.counters
+            with st.stats_lock:
+                m.puts += c.puts
+                m.gets += c.gets
+                m.accumulates += c.accumulates
+                m.bytes += c.bytes
+                m.staged_copies += c.staged_copies
+                m.staged_bytes += c.staged_bytes
+                m.zero_copy_hits += c.zero_copy_hits
+                m.zero_copy_bytes += c.zero_copy_bytes
+                m.epoch_waits += c.epoch_waits
+                m.fences += c.fences
+                m.locks += c.locks
+                m.mirror_bytes += c.mirror_bytes
+        return m
+
+    # ------------------------------------------------------------- derived
+    @property
+    def ops(self) -> int:
+        """All one-sided operations issued."""
+        return self.puts + self.gets + self.accumulates
+
+    @property
+    def zero_copy_fraction(self) -> float:
+        """Fraction of payload bytes moved without a staging copy."""
+        return self.zero_copy_bytes / self.bytes if self.bytes else 0.0
+
+    # ----------------------------------------------------------- reporting
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "windows": self.windows,
+            "ops": self.ops,
+            "puts": self.puts,
+            "gets": self.gets,
+            "accumulates": self.accumulates,
+            "bytes": self.bytes,
+            "staged_copies": self.staged_copies,
+            "staged_bytes": self.staged_bytes,
+            "zero_copy_hits": self.zero_copy_hits,
+            "zero_copy_bytes": self.zero_copy_bytes,
+            "zero_copy_fraction": round(self.zero_copy_fraction, 3),
+            "epoch_waits": self.epoch_waits,
+            "fences": self.fences,
+            "locks": self.locks,
+            "mirror_bytes": self.mirror_bytes,
+        }
+
+    def render(self) -> str:
+        table = Table(["counter", "value"], title="rma metrics")
+        for key, value in self.snapshot().items():
+            table.add_row(key, value)
+        return table.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RMAMetrics(windows={self.windows}, ops={self.ops}, "
+            f"staged_bytes={self.staged_bytes}, "
+            f"zero_copy_hits={self.zero_copy_hits})"
+        )
+
+
+__all__ = ["RMAMetrics"]

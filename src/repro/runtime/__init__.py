@@ -27,6 +27,7 @@ from repro.runtime.errors import (
     MigrationError,
     MPIError,
     PayloadCloneError,
+    RMAEpochError,
     TransientCommError,
 )
 from repro.runtime.message import (
@@ -44,6 +45,7 @@ from repro.runtime.communicator import Comm
 from repro.runtime.task import TaskContext
 from repro.runtime.runtime import CommStats, Runtime
 from repro.runtime.process_mpi import ProcessRuntime
+from repro.runtime.rma import LOCK_EXCLUSIVE, LOCK_SHARED, Win
 
 __all__ = [
     "MPIError",
@@ -53,6 +55,7 @@ __all__ = [
     "MigrationError",
     "InjectedCrash",
     "PayloadCloneError",
+    "RMAEpochError",
     "TransientCommError",
     "AbortSignal",
     "ANY_SOURCE",
@@ -75,4 +78,7 @@ __all__ = [
     "Runtime",
     "CommStats",
     "ProcessRuntime",
+    "Win",
+    "LOCK_SHARED",
+    "LOCK_EXCLUSIVE",
 ]

@@ -36,6 +36,12 @@ class PayloadCloneError(MPIError):
     the send-side copy path)."""
 
 
+class RMAEpochError(MPIError):
+    """A one-sided access (put/get/accumulate) was issued outside any
+    open access epoch -- the origin must call ``fence()``, ``start()``,
+    ``lock()`` or ``lock_all()`` first (:mod:`repro.runtime.rma`)."""
+
+
 class TransientCommError(MPIError):
     """Transient communication-buffer exhaustion: the eager-buffer pool
     could not satisfy an allocation *right now*.  The runtime retries
@@ -50,5 +56,6 @@ __all__ = [
     "MigrationError",
     "InjectedCrash",
     "PayloadCloneError",
+    "RMAEpochError",
     "TransientCommError",
 ]

@@ -40,6 +40,10 @@ class ProcessRuntime(Runtime):
     shared_node_address_space = False
     #: no shared address space -> the flat copying collective path
     collective_algorithm = "flat"
+    #: RMA windows are emulated with per-origin mirror copies of the
+    #: target segment (lazily allocated, like the eager buffers) --
+    #: the one-sided extension of the Tables I-IV memory contrast
+    rma_mirror_copies = True
 
     # Aggressive eager-buffer policy, *per process*: base pool, a
     # per-total-rank table, and lazily allocated per-connection eager

@@ -62,8 +62,14 @@ class Request:
 
     @staticmethod
     def testall(requests: List["Request"]) -> bool:
-        """True iff every request can complete without blocking."""
-        return all(r.test() for r in requests)
+        """True iff every request can complete without blocking.
+
+        MPI_Testall semantics: *every* request is tested (and therefore
+        progressed) on every call -- a short-circuiting conjunction
+        would stop at the first incomplete request and never progress
+        the later ones, so evaluate all tests first, then combine."""
+        results = [r.test() for r in requests]
+        return all(results)
 
     @staticmethod
     def waitany(requests: List["Request"]) -> Tuple[int, Any]:

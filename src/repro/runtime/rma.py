@@ -1,0 +1,768 @@
+"""One-sided RMA windows (MPI-3 analog).
+
+The paper positions HLS against the MPI Forum's one-sided proposal:
+windows of exposed memory that peers access with ``put``/``get``/
+``accumulate`` instead of matched send/receive pairs.  This module
+builds that full surface on the thread runtime:
+
+* **window creation** -- :meth:`Win.create` (expose an existing buffer),
+  :meth:`Win.allocate` (window-allocated per-rank buffers) and
+  :meth:`Win.allocate_shared` (one contiguous node-shared buffer,
+  ``MPI_Win_allocate_shared``);
+* **communication** -- :meth:`Win.put`, :meth:`Win.get`,
+  :meth:`Win.accumulate` (reusing the reduction ops of
+  :mod:`repro.runtime.ops`);
+* **active-target synchronisation** -- :meth:`Win.fence` and the
+  post/start/complete/wait (PSCW) epoch calls;
+* **passive-target synchronisation** -- :meth:`Win.lock` /
+  :meth:`Win.unlock` with shared/exclusive semantics, plus
+  :meth:`Win.lock_all` / :meth:`Win.unlock_all`.
+
+Copy policy mirrors the rest of the runtime.  When origin and target
+share an address space and either the runtime runs ``sharing="shared"``
+or the window was allocated shared, an access is *direct*: the one
+semantic transfer touches the exposed segment with plain loads/stores
+and no staging copy is made (``zero_copy_hits`` in
+:meth:`~repro.runtime.runtime.Runtime.rma_metrics`).  Otherwise the
+payload is staged through a private copy at the origin, and the
+process backend (:mod:`repro.runtime.process_mpi`) additionally
+emulates the window with lazily allocated **per-origin mirror copies**
+of the target segment -- extending the Tables I-IV memory-footprint
+contrast to one-sided traffic.
+
+Every access is checked against the origin's open epochs; an access
+outside any epoch raises :class:`~repro.runtime.errors.RMAEpochError`
+immediately and, when a tracer is installed, leaves an RMA event in the
+trace so :func:`repro.analysis.happens_before.rma_epoch_violations`
+reports it offline as well.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.abort import note_abort, subscribe_abort
+from repro.runtime.errors import (
+    AbortError,
+    DeadlockError,
+    MPIError,
+    RMAEpochError,
+)
+from repro.runtime.ops import Op, SUM
+from repro.runtime.payload import clone
+
+_ABORT_TICK = 1.0
+
+#: lock modes (MPI_LOCK_SHARED / MPI_LOCK_EXCLUSIVE)
+LOCK_SHARED = "shared"
+LOCK_EXCLUSIVE = "exclusive"
+
+
+def validate_layout(
+    total: int, offsets: Dict[int, int], sizes: Dict[int, int]
+) -> None:
+    """Reject out-of-range or overlapping per-rank window segments.
+
+    ``offsets``/``sizes`` are element-granular; every rank's segment
+    must lie inside ``[0, total)`` and no two segments may overlap --
+    a corrupted layout would silently alias peers' data.
+    """
+    if set(offsets) != set(sizes):
+        raise MPIError("window layout: offsets and sizes disagree on ranks")
+    spans = []
+    for rank in sorted(offsets):
+        off, size = int(offsets[rank]), int(sizes[rank])
+        if off < 0 or size < 0:
+            raise MPIError(
+                f"window layout: rank {rank} has negative offset/size"
+            )
+        if off + size > total:
+            raise MPIError(
+                f"window layout: rank {rank} segment [{off}, {off + size}) "
+                f"exceeds the window of {total} elements"
+            )
+        spans.append((off, off + size, rank))
+    spans.sort()
+    for (_, end_a, rank_a), (start_b, _, rank_b) in zip(spans, spans[1:]):
+        if start_b < end_a:
+            raise MPIError(
+                f"window layout: rank {rank_a} and rank {rank_b} segments "
+                f"overlap"
+            )
+
+
+class _WinCounters:
+    """Per-window RMA counters (guarded by the window's stats lock)."""
+
+    __slots__ = (
+        "puts", "gets", "accumulates", "bytes",
+        "staged_copies", "staged_bytes",
+        "zero_copy_hits", "zero_copy_bytes",
+        "epoch_waits", "fences", "locks", "mirror_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.puts = 0
+        self.gets = 0
+        self.accumulates = 0
+        self.bytes = 0
+        self.staged_copies = 0
+        self.staged_bytes = 0
+        self.zero_copy_hits = 0
+        self.zero_copy_bytes = 0
+        self.epoch_waits = 0
+        self.fences = 0
+        self.locks = 0
+        self.mirror_bytes = 0
+
+
+class _WinShared:
+    """Cross-rank shared state of one window (one per allocation)."""
+
+    def __init__(self, win_id: int, size: int, runtime: Any, kind: str) -> None:
+        self.id = win_id
+        self.size = size
+        self.runtime = runtime
+        self.kind = kind                      # "create" | "allocate" | "shared"
+        self.buffers: List[Optional[np.ndarray]] = [None] * size
+        self.allocs: List[Optional[Tuple[Any, Any]]] = [None] * size
+        self.base: Optional[np.ndarray] = None   # contiguous ("shared" kind)
+        self.offsets: Dict[int, int] = {}
+        self.sizes: Dict[int, int] = {}
+        self.freed = False
+        self.cond = threading.Condition()
+        self.data_lock = threading.Lock()     # accumulate atomicity
+        self.stats_lock = threading.Lock()
+        self.counters = _WinCounters()
+        # PSCW: target comm-rank -> {"origins": frozenset, "completed": set}
+        self.exposure: Dict[int, Dict[str, Any]] = {}
+        # passive target: target comm-rank -> {holder comm-rank: mode}
+        self.lock_holders: Dict[int, Dict[int, str]] = {}
+        # per-(origin world-rank, target comm-rank) mirror allocations of
+        # the process backend's window emulation
+        self.mirrors: Dict[Tuple[int, int], Tuple[Any, Any]] = {}
+        subscribe_abort(runtime.abort_flag, self._wake)
+
+    def _wake(self) -> None:
+        with self.cond:
+            self.cond.notify_all()
+
+    # ------------------------------------------------------------- waiting
+    def wait_for(self, pred: Callable[[], bool], what: str) -> bool:
+        """Block (``self.cond`` held) until ``pred()``; abort-aware with
+        the runtime's deadlock watchdog.  Returns True when the call
+        actually parked at least once (the ``epoch_waits`` unit)."""
+        waited = False
+        deadline = time.monotonic() + self.runtime.timeout
+        while not pred():
+            if self.runtime.abort_flag.is_set():
+                note_abort(self.runtime.abort_flag)
+                raise AbortError(f"job aborted during {what}")
+            now = time.monotonic()
+            if now >= deadline:
+                raise DeadlockError(
+                    f"{what} timed out after {self.runtime.timeout}s -- "
+                    f"RMA synchronisation mismatch?"
+                )
+            waited = True
+            self.cond.wait(timeout=min(deadline - now, _ABORT_TICK))
+        return waited
+
+    def note(self, **deltas: int) -> None:
+        with self.stats_lock:
+            for name, delta in deltas.items():
+                setattr(self.counters, name, getattr(self.counters, name) + delta)
+
+
+class Win:
+    """One rank's handle on an RMA window (MPI_Win analog)."""
+
+    def __init__(self, shared: _WinShared, comm: Any) -> None:
+        self._shared = shared
+        self.comm = comm
+        self.rank = comm.rank
+        # origin-side epoch state (only ever touched by this task)
+        self._fence_open = False
+        self._started: Optional[FrozenSet[int]] = None
+        self._held_locks: Dict[int, str] = {}
+        self._lock_all = False
+
+    # ------------------------------------------------------------ creation
+    @classmethod
+    def create(cls, comm: Any, local: np.ndarray) -> "Win":
+        """Collective: expose an existing 1-D numpy buffer
+        (MPI_Win_create analog)."""
+        local = np.asarray(local)
+        if local.ndim != 1:
+            raise MPIError("Win.create exposes 1-D buffers")
+        return cls._build(comm, local, kind="create")
+
+    @classmethod
+    def allocate(
+        cls, comm: Any, count: int, dtype: Any = np.float64
+    ) -> "Win":
+        """Collective: allocate ``count`` elements per rank and expose
+        them (MPI_Win_allocate analog)."""
+        if count < 0:
+            raise MPIError("Win.allocate needs a non-negative count")
+        local = np.zeros(int(count), dtype=np.dtype(dtype))
+        return cls._build(comm, local, kind="allocate")
+
+    @classmethod
+    def _build(cls, comm: Any, local: np.ndarray, *, kind: str) -> "Win":
+        rt = comm.runtime
+        world = comm.world_rank
+        space = rt.space_for(world)
+        alloc = space.alloc(
+            max(int(local.nbytes), 1), label="rma-window", kind="app",
+            owner=world,
+        )
+        if comm.rank == 0:
+            st: Optional[_WinShared] = _WinShared(
+                rt.register_window(None), comm.size, rt, kind
+            )
+            rt._windows[st.id] = st
+        else:
+            st = None
+        # Publish by reference (exchange does not clone), then each rank
+        # fills its own slot; the trailing barrier orders the fills
+        # before any peer's first access.
+        st = comm._coll.exchange(comm.rank, st)[0]
+        st.buffers[comm.rank] = local
+        st.allocs[comm.rank] = (space, alloc)
+        st.sizes[comm.rank] = int(local.size)
+        comm.barrier()
+        return cls(st, comm)
+
+    @classmethod
+    def allocate_shared(
+        cls,
+        comm: Any,
+        count: int,
+        dtype: Any = np.float64,
+        *,
+        offsets: Optional[Dict[int, int]] = None,
+    ) -> "Win":
+        """Collective: one contiguous node-shared buffer, ``count``
+        elements per rank (MPI_Win_allocate_shared analog).
+
+        Requires a backend with a shared node address space (the thread
+        runtime); the process backend raises ``MPIError`` instead of
+        silently handing out private buffers.  ``offsets`` optionally
+        overrides the contiguous per-rank layout and is validated
+        against out-of-range and overlapping segments.
+        """
+        rt = comm.runtime
+        if not rt.shared_node_address_space:
+            raise MPIError(
+                "the process backend has no shared address space: "
+                "Win.allocate_shared is unavailable (use Win.allocate "
+                "for per-origin emulated windows)"
+            )
+        world = [comm.to_world(r) for r in range(comm.size)]
+        node0 = rt.node_of(world[0])
+        if any(rt.node_of(w) != node0 for w in world):
+            raise MPIError(
+                "shared windows require all ranks of the communicator to "
+                "share a node (use comm.split_by_node() first)"
+            )
+        counts = comm.allgather(int(count))
+        sizes = {r: int(c) for r, c in enumerate(counts)}
+        if any(c < 0 for c in sizes.values()):
+            raise MPIError("Win.allocate_shared needs non-negative counts")
+        total = sum(sizes.values())
+        if offsets is None:
+            offs: Dict[int, int] = {}
+            off = 0
+            for r in sorted(sizes):
+                offs[r] = off
+                off += sizes[r]
+        else:
+            offs = {r: int(o) for r, o in offsets.items()}
+        validate_layout(total, offs, sizes)
+        if comm.rank == 0:
+            st: Optional[_WinShared] = _WinShared(
+                rt.register_window(None), comm.size, rt, "shared"
+            )
+            rt._windows[st.id] = st
+            base = np.zeros(total, dtype=np.dtype(dtype))
+            st.base = base
+            st.offsets = offs
+            st.sizes = sizes
+            space = rt.node_space(node0)
+            alloc = space.alloc(
+                max(int(base.nbytes), 1), label="rma-shared-window",
+                kind="app",
+            )
+            st.allocs[0] = (space, alloc)
+            for r in range(comm.size):
+                st.buffers[r] = base[offs[r]:offs[r] + sizes[r]]
+        else:
+            st = None
+        st = comm._coll.exchange(comm.rank, st)[0]
+        comm.barrier()
+        return cls(st, comm)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def size(self) -> int:
+        return self._shared.size
+
+    def local(self) -> np.ndarray:
+        """This rank's exposed segment (plain loads/stores)."""
+        return self.shared_query(self.rank)
+
+    def shared_query(self, rank: int) -> np.ndarray:
+        """A peer's segment by reference (MPI_Win_shared_query analog;
+        any window kind on the thread backend, since all segments live
+        in one process -- but only ``allocate_shared`` guarantees the
+        contiguous layout MPI promises)."""
+        st = self._shared
+        self._check_live()
+        if not 0 <= rank < st.size:
+            raise MPIError(f"rank {rank} not in window")
+        buf = st.buffers[rank]
+        if buf is None:
+            raise MPIError(f"rank {rank} has not attached its segment")
+        if st.kind == "shared":
+            # defensive re-validation: the layout tables are shared
+            # mutable state, so re-check bounds before handing out a view
+            off, size = st.offsets[rank], st.sizes[rank]
+            assert st.base is not None
+            if off < 0 or off + size > st.base.size:
+                raise MPIError(
+                    f"window layout corrupted: rank {rank} segment "
+                    f"[{off}, {off + size}) outside the window"
+                )
+        return buf
+
+    # ------------------------------------------------------------- helpers
+    def _check_live(self) -> None:
+        if self._shared.freed:
+            raise MPIError("operation on a freed window")
+
+    def _hit(self, site: str) -> None:
+        f = self._shared.runtime.faults
+        if f is not None:
+            f.hit(site, self.comm.world_rank, wake=self._shared._wake)
+
+    def _record_rma(self, op: str, target: int, nbytes: int) -> None:
+        tracer = self._shared.runtime.tracer
+        if tracer is not None:
+            tracer.record_rma(
+                self.comm.world_rank, self._shared.id, op, target, nbytes
+            )
+
+    def _record_epoch(
+        self,
+        op: str,
+        target: Optional[int] = None,
+        group: Optional[Iterable[int]] = None,
+    ) -> None:
+        tracer = self._shared.runtime.tracer
+        if tracer is not None:
+            tracer.record_epoch(
+                self.comm.world_rank, self._shared.id, op, target,
+                tuple(group) if group is not None else None,
+            )
+
+    def _direct(self, target: int) -> bool:
+        """May this access touch the target segment with plain
+        loads/stores?  Needs a shared address space between origin and
+        target, plus either the runtime-wide ``sharing="shared"`` policy
+        or an explicitly shared-allocated window."""
+        rt = self._shared.runtime
+        if not rt.shares_address_space(
+            self.comm.world_rank, self.comm.to_world(target)
+        ):
+            return False
+        return rt.sharing == "shared" or self._shared.kind == "shared"
+
+    def _check_epoch(self, target: int, op: str) -> None:
+        if self._fence_open:
+            return
+        if self._started is not None and target in self._started:
+            return
+        if self._lock_all or target in self._held_locks:
+            return
+        raise RMAEpochError(
+            f"{op} to target {target} outside any access epoch -- open one "
+            f"with fence(), start(), lock() or lock_all() first"
+        )
+
+    def _segment(self, target: int, disp: int, count: int) -> np.ndarray:
+        buf = self.shared_query(target)
+        if disp < 0 or count < 0 or disp + count > buf.size:
+            raise MPIError(
+                f"RMA access [{disp}, {disp + count}) outside target "
+                f"{target}'s segment of {buf.size} elements"
+            )
+        return buf[disp:disp + count]
+
+    def _mirror(self, target: int, nbytes: int) -> None:
+        """Process-backend emulation: the first access from this origin
+        to ``target`` allocates a private mirror copy of the target
+        segment in the origin's address space."""
+        st = self._shared
+        rt = st.runtime
+        origin_w = self.comm.world_rank
+        key = (origin_w, target)
+        with st.stats_lock:
+            if key in st.mirrors:
+                return
+            st.mirrors[key] = (None, None)  # reserve under the lock
+        seg_bytes = max(
+            st.sizes.get(target, 0) * np.dtype(
+                self.shared_query(target).dtype
+            ).itemsize,
+            nbytes,
+            1,
+        )
+        space = rt.space_for(origin_w)
+        alloc = space.alloc(
+            seg_bytes, label=f"rma-mirror(w{st.id}:{origin_w}->{target})",
+            kind="runtime", owner=origin_w,
+        )
+        with st.stats_lock:
+            st.mirrors[key] = (space, alloc)
+            st.counters.mirror_bytes += seg_bytes
+
+    def _stage(self, target: int, nbytes: int) -> int:
+        """Staging-copy accounting for a non-direct access: one
+        origin-side serialisation copy, plus the process backend's
+        mirror delivery copy."""
+        st = self._shared
+        copies, staged = 1, nbytes
+        if st.runtime.rma_mirror_copies:
+            self._mirror(target, nbytes)
+            copies, staged = 2, 2 * nbytes
+        st.note(staged_copies=copies, staged_bytes=staged)
+        return staged
+
+    # ------------------------------------------------------------ transfer
+    def put(self, src: Any, target: int, target_disp: int = 0) -> None:
+        """One-sided store of ``src`` into ``target``'s segment at
+        element displacement ``target_disp`` (MPI_Put analog)."""
+        self._hit("rma.put")
+        self._check_live()
+        arr = np.asarray(src)
+        nbytes = int(arr.nbytes)
+        self._record_rma("put", target, nbytes)
+        self._check_epoch(target, "put")
+        seg = self._segment(target, target_disp, int(arr.size))
+        st = self._shared
+        if self._direct(target):
+            np.copyto(seg, arr)
+            st.note(zero_copy_hits=1, zero_copy_bytes=nbytes)
+        else:
+            staged = clone(arr)          # origin-side serialisation copy
+            self._stage(target, nbytes)
+            np.copyto(seg, staged)
+        st.note(puts=1, bytes=nbytes)
+
+    def get(
+        self,
+        target: int,
+        count: Optional[int] = None,
+        target_disp: int = 0,
+        *,
+        buf: Optional[np.ndarray] = None,
+        copy: bool = True,
+    ) -> np.ndarray:
+        """One-sided load from ``target``'s segment (MPI_Get analog).
+
+        Returns a private copy by default (into ``buf`` when given).
+        ``copy=False`` asks for a read-only zero-copy *view* -- legal
+        only when the access is direct (shared address space), else
+        ``MPIError``."""
+        self._hit("rma.get")
+        self._check_live()
+        full = self.shared_query(target)
+        if count is None:
+            count = int(full.size) - target_disp
+        nbytes = int(count) * full.dtype.itemsize
+        self._record_rma("get", target, nbytes)
+        self._check_epoch(target, "get")
+        seg = self._segment(target, target_disp, int(count))
+        st = self._shared
+        direct = self._direct(target)
+        if not copy:
+            if not direct:
+                raise MPIError(
+                    "zero-copy get (copy=False) needs a shared address "
+                    "space between origin and target"
+                )
+            view = seg.view()
+            view.flags.writeable = False
+            st.note(gets=1, bytes=nbytes, zero_copy_hits=1,
+                    zero_copy_bytes=nbytes)
+            return view
+        if direct:
+            # the one semantic transfer: segment -> result, no staging
+            st.note(zero_copy_hits=1, zero_copy_bytes=nbytes)
+            out = seg.copy() if buf is None else buf
+            if buf is not None:
+                np.copyto(buf.reshape(seg.shape), seg)
+        else:
+            with st.data_lock:
+                staged = clone(seg)      # target-side serialisation copy
+            self._stage(target, nbytes)
+            if buf is None:
+                out = staged
+            else:
+                np.copyto(buf.reshape(staged.shape), staged)
+                out = buf
+        st.note(gets=1, bytes=nbytes)
+        return out
+
+    def accumulate(
+        self,
+        src: Any,
+        target: int,
+        op: Op = SUM,
+        target_disp: int = 0,
+    ) -> None:
+        """Atomic read-modify-write into ``target``'s segment with a
+        reduction op from :mod:`repro.runtime.ops` (MPI_Accumulate
+        analog).  Serialised per window, so concurrent accumulates from
+        different origins never lose updates."""
+        self._hit("rma.put")
+        self._check_live()
+        arr = np.asarray(src)
+        nbytes = int(arr.nbytes)
+        self._record_rma("accumulate", target, nbytes)
+        self._check_epoch(target, "accumulate")
+        seg = self._segment(target, target_disp, int(arr.size))
+        st = self._shared
+        if self._direct(target):
+            contrib: Any = arr
+            st.note(zero_copy_hits=1, zero_copy_bytes=nbytes)
+        else:
+            contrib = clone(arr)
+            self._stage(target, nbytes)
+        with st.data_lock:
+            seg[...] = op(seg, contrib)
+        st.note(accumulates=1, bytes=nbytes)
+
+    def flush(self, target: Optional[int] = None) -> None:
+        """MPI_Win_flush analog.  Transfers complete eagerly in this
+        runtime, so flush is a local no-op kept for API fidelity."""
+        del target
+        self._check_live()
+
+    # ------------------------------------------------------ active target
+    def fence(self) -> None:
+        """Collective epoch separator (MPI_Win_fence analog): closes the
+        previous fence epoch and opens a new one on every rank."""
+        self._hit("rma.epoch")
+        self._check_live()
+        self._record_epoch("fence")
+        self.comm.barrier()
+        self._fence_open = True
+        self._shared.note(fences=1)
+
+    def fence_end(self) -> None:
+        """Final fence: closes the fence epoch without opening a new
+        one (the MPI_MODE_NOSUCCEED assertion)."""
+        self._hit("rma.epoch")
+        self._check_live()
+        self._record_epoch("fence_end")
+        self.comm.barrier()
+        self._fence_open = False
+        self._shared.note(fences=1)
+
+    def post(self, group: Iterable[int]) -> None:
+        """Open an exposure epoch to the origins in ``group``
+        (MPI_Win_post analog; non-blocking)."""
+        self._hit("rma.epoch")
+        self._check_live()
+        origins = frozenset(int(g) for g in group)
+        self._record_epoch("post", group=sorted(origins))
+        st = self._shared
+        with st.cond:
+            if self.rank in st.exposure:
+                raise MPIError(
+                    f"rank {self.rank} already has an exposure epoch open"
+                )
+            st.exposure[self.rank] = {"origins": origins, "completed": set()}
+            st.cond.notify_all()
+
+    def start(self, group: Iterable[int]) -> None:
+        """Open an access epoch to the targets in ``group``; blocks
+        until each has posted a matching exposure epoch
+        (MPI_Win_start analog)."""
+        self._hit("rma.epoch")
+        self._check_live()
+        targets = frozenset(int(g) for g in group)
+        self._record_epoch("start", group=sorted(targets))
+        if self._started is not None:
+            raise MPIError("access epoch already started")
+        st = self._shared
+
+        def posted() -> bool:
+            return all(
+                t in st.exposure and self.rank in st.exposure[t]["origins"]
+                for t in targets
+            )
+
+        with st.cond:
+            if st.wait_for(posted, f"start({sorted(targets)})"):
+                st.note(epoch_waits=1)
+        self._started = targets
+
+    def complete(self) -> None:
+        """Close this origin's access epoch and notify its targets
+        (MPI_Win_complete analog)."""
+        self._hit("rma.epoch")
+        self._check_live()
+        self._record_epoch("complete")
+        if self._started is None:
+            raise MPIError("complete() without a started access epoch")
+        st = self._shared
+        with st.cond:
+            for t in self._started:
+                exp = st.exposure.get(t)
+                if exp is not None and self.rank in exp["origins"]:
+                    exp["completed"].add(self.rank)
+            st.cond.notify_all()
+        self._started = None
+
+    def wait(self) -> None:
+        """Close this target's exposure epoch once every origin
+        completed (MPI_Win_wait analog; blocking)."""
+        self._hit("rma.epoch")
+        self._check_live()
+        self._record_epoch("wait")
+        st = self._shared
+        with st.cond:
+            exp = st.exposure.get(self.rank)
+            if exp is None:
+                raise MPIError("wait() without a posted exposure epoch")
+
+            def done() -> bool:
+                return exp["completed"] >= exp["origins"]
+
+            if st.wait_for(done, "wait(exposure epoch)"):
+                st.note(epoch_waits=1)
+            del st.exposure[self.rank]
+            st.cond.notify_all()
+
+    # ----------------------------------------------------- passive target
+    def lock(self, target: int, *, exclusive: bool = False) -> None:
+        """Open a passive-target access epoch on ``target``
+        (MPI_Win_lock analog).  Shared locks coexist; an exclusive lock
+        waits for sole ownership."""
+        self._hit("rma.epoch")
+        self._check_live()
+        mode = LOCK_EXCLUSIVE if exclusive else LOCK_SHARED
+        self._record_epoch(f"lock_{mode}", target=target)
+        if not 0 <= target < self.size:
+            raise MPIError(f"rank {target} not in window")
+        if self._lock_all or target in self._held_locks:
+            raise MPIError(f"lock on target {target} already held")
+        st = self._shared
+
+        def grantable() -> bool:
+            holders = st.lock_holders.get(target, {})
+            if mode == LOCK_EXCLUSIVE:
+                return not holders
+            return LOCK_EXCLUSIVE not in holders.values()
+
+        with st.cond:
+            if st.wait_for(grantable, f"lock({target}, {mode})"):
+                st.note(epoch_waits=1)
+            st.lock_holders.setdefault(target, {})[self.rank] = mode
+        self._held_locks[target] = mode
+        st.note(locks=1)
+
+    def unlock(self, target: int) -> None:
+        """Close the passive-target epoch on ``target``
+        (MPI_Win_unlock analog)."""
+        self._hit("rma.epoch")
+        self._check_live()
+        self._record_epoch("unlock", target=target)
+        if target not in self._held_locks:
+            raise MPIError(f"unlock({target}) without a held lock")
+        st = self._shared
+        with st.cond:
+            holders = st.lock_holders.get(target, {})
+            holders.pop(self.rank, None)
+            if not holders:
+                st.lock_holders.pop(target, None)
+            st.cond.notify_all()
+        del self._held_locks[target]
+
+    def lock_all(self) -> None:
+        """Shared lock on every target at once (MPI_Win_lock_all
+        analog)."""
+        self._hit("rma.epoch")
+        self._check_live()
+        self._record_epoch("lock_all")
+        if self._lock_all or self._held_locks:
+            raise MPIError("lock_all() while holding locks")
+        st = self._shared
+
+        def grantable() -> bool:
+            return all(
+                LOCK_EXCLUSIVE not in st.lock_holders.get(t, {}).values()
+                for t in range(st.size)
+            )
+
+        with st.cond:
+            if st.wait_for(grantable, "lock_all()"):
+                st.note(epoch_waits=1)
+            for t in range(st.size):
+                st.lock_holders.setdefault(t, {})[self.rank] = LOCK_SHARED
+        self._lock_all = True
+        st.note(locks=1)
+
+    def unlock_all(self) -> None:
+        """Release the lock_all epoch (MPI_Win_unlock_all analog)."""
+        self._hit("rma.epoch")
+        self._check_live()
+        self._record_epoch("unlock_all")
+        if not self._lock_all:
+            raise MPIError("unlock_all() without lock_all()")
+        st = self._shared
+        with st.cond:
+            for t in range(st.size):
+                holders = st.lock_holders.get(t, {})
+                holders.pop(self.rank, None)
+                if not holders:
+                    st.lock_holders.pop(t, None)
+            st.cond.notify_all()
+        self._lock_all = False
+
+    # -------------------------------------------------------------- free
+    def free(self) -> None:
+        """Collective: release the window's simulated allocations
+        (including the process backend's mirror copies)."""
+        self.comm.barrier()
+        st = self._shared
+        pair = st.allocs[self.rank]
+        if pair is not None and pair[0] is not None:
+            space, alloc = pair
+            space.free(alloc)
+            st.allocs[self.rank] = None
+        if self.rank == 0:
+            with st.stats_lock:
+                mirrors = list(st.mirrors.values())
+                st.mirrors.clear()
+            for space, alloc in mirrors:
+                if space is not None:
+                    space.free(alloc)
+            st.freed = True
+        self.comm.barrier()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Win(id={self._shared.id}, kind={self._shared.kind!r}, "
+            f"rank={self.rank}/{self.size})"
+        )
+
+
+__all__ = ["LOCK_EXCLUSIVE", "LOCK_SHARED", "Win", "validate_layout"]

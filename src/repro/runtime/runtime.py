@@ -81,6 +81,10 @@ class Runtime:
     #: thread backend exploits the topology, the process baseline keeps
     #: the flat copying path
     collective_algorithm = "hierarchical"
+    #: does the backend emulate RMA windows with per-origin mirror
+    #: copies?  False for the thread backend (one window, shared);
+    #: True for the process baseline (see repro.runtime.rma)
+    rma_mirror_copies = False
 
     # Comm-buffer memory model (bytes), calibrated against Table II's
     # "MPC consumes between 100 and 300MB less memory than Open MPI and
@@ -181,6 +185,10 @@ class Runtime:
         self.migration_checks: List[Callable[[TaskContext, int], None]] = []
         self.post_move_hooks: List[Callable[[int, int], None]] = []
         self._spaces: Dict[int, AddressSpace] = {}
+        #: RMA windows ever created on this runtime (repro.runtime.rma);
+        #: aggregated by rma_metrics()
+        self._windows: List[Any] = []
+        self._win_lock = threading.Lock()
         self._alloc_runtime_memory()
         self.contexts: List[Optional[TaskContext]] = [None] * self.n_tasks
         if faults is not None:
@@ -354,6 +362,22 @@ class Runtime:
         from repro.metrics.p2p import P2PMetrics
 
         return P2PMetrics.from_runtime(self)
+
+    # ------------------------------------------------------------------- rma
+    def register_window(self, shared: Any) -> int:
+        """Reserve a slot in the window registry and return its id (the
+        creating rank stores the shared window state there)."""
+        with self._win_lock:
+            self._windows.append(shared)
+            return len(self._windows) - 1
+
+    def rma_metrics(self):
+        """Snapshot of the one-sided counters aggregated over every
+        window (ops, bytes, staged copies, zero-copy hits, epoch
+        waits)."""
+        from repro.metrics.rma import RMAMetrics
+
+        return RMAMetrics.from_runtime(self)
 
     def _comm_alloc(
         self, space: AddressSpace, nbytes: int, *, label: str, owner: int,

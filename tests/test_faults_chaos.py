@@ -20,6 +20,7 @@ delivery policy.
 import os
 import time
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -32,6 +33,7 @@ from repro.runtime import (
     MPIError,
     Runtime,
     SUM,
+    Win,
 )
 
 #: sweep width; CI may widen it, a laptop may narrow it
@@ -97,6 +99,28 @@ def wl_hls_nowait(program):
     return main
 
 
+def wl_rma(ctx):
+    """One-sided traffic across all three sync families: fence put/get,
+    a passive-target read, and a lock_all accumulate.  Every value is
+    integer-valued and every read is ordered after the writes it
+    observes, so the result is schedule-invariant."""
+    c = ctx.comm_world
+    win = Win.allocate(c, 2)
+    win.fence()
+    win.put(np.full(2, float(ctx.rank + 1)), (ctx.rank + 1) % ctx.size)
+    win.fence()
+    out = float(win.get(ctx.rank)[0])          # neighbour's store
+    win.fence_end()
+    win.lock_all()
+    win.accumulate(np.full(2, 1.0), 0, op=SUM)
+    win.unlock_all()
+    c.barrier()                                # all accumulates done
+    win.lock(0)
+    total = float(win.get(0)[0])
+    win.unlock(0)
+    return (out, total)
+
+
 def run_workload(name, rt):
     if name == "p2p":
         return rt.run(wl_p2p_alltoall)
@@ -106,6 +130,8 @@ def run_workload(name, rt):
         prog = HLSProgram(rt)
         prog.declare("q", shape=(2,), scope="node")
         return rt.run(wl_hls_nowait(prog))
+    if name == "rma":
+        return rt.run(wl_rma)
     raise AssertionError(name)
 
 
@@ -115,6 +141,7 @@ WORKLOAD_SITES = {
     "p2p": ("p2p.post", "p2p.recv", "p2p.alloc"),
     "coll": ("coll.sweep",),
     "hls": ("hls.single", "hls.nowait", "hls.barrier"),
+    "rma": ("rma.put", "rma.get", "rma.epoch"),
 }
 
 
@@ -131,7 +158,7 @@ def check_clean(name, plan, outcome_ok):
 
 
 # ------------------------------------------------------------- seeded sweep
-@pytest.mark.parametrize("workload", ["p2p", "coll", "hls"])
+@pytest.mark.parametrize("workload", ["p2p", "coll", "hls", "rma"])
 @pytest.mark.parametrize("seed", range(N_SEEDS))
 def test_chaos_sweep_terminates_cleanly(workload, seed):
     """Random plan, real workload: clean result or clean MPIError,
@@ -173,7 +200,7 @@ def canonical(workload, result):
     return result
 
 
-@pytest.mark.parametrize("workload", ["p2p", "coll", "hls"])
+@pytest.mark.parametrize("workload", ["p2p", "coll", "hls", "rma"])
 def test_chaos_soft_perturbations_preserve_results(workload):
     """Crash-free plans may slow a run down but must not corrupt it:
     the perturbed result equals the undisturbed one."""
@@ -205,6 +232,9 @@ CRASH_SITES = [
     ("coll.sweep", "coll"),    # collective sweep
     ("hls.barrier", "hls"),    # scope barrier
     ("hls.single", "hls"),     # hls single (nowait enter in the workload)
+    ("rma.put", "rma"),        # one-sided store/accumulate
+    ("rma.get", "rma"),        # one-sided load
+    ("rma.epoch", "rma"),      # fence/lock/PSCW epoch boundary
 ]
 
 
@@ -237,7 +267,7 @@ def test_injected_crash_is_not_an_abort_error():
 
 
 # ------------------------------------------------------------ record/replay
-@pytest.mark.parametrize("workload", ["p2p", "coll", "hls"])
+@pytest.mark.parametrize("workload", ["p2p", "coll", "hls", "rma"])
 def test_record_replay_bit_for_bit(workload):
     """to_json -> from_json -> rerun reproduces the identical injection
     sequence: same canonical JSON, same sorted fired-log."""

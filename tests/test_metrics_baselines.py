@@ -37,6 +37,40 @@ class TestMemorySampler:
         with pytest.raises(ValueError):
             MemorySampler(rt).report()
 
+    def test_short_series_falls_back_to_untrimmed(self):
+        """A node with <= skip_startup samples must fall back to its
+        untrimmed series instead of averaging over an empty list."""
+        rt = Runtime(core2_cluster(1), n_tasks=8)
+        rt.node_space(0).alloc(1 << 20, label="app-data")
+        sampler = MemorySampler(rt)
+        sampler.sample()                       # exactly one sample
+        rep = sampler.report(skip_startup=1)   # trim would leave nothing
+        base = rt.node_live_bytes(0)
+        assert rep.avg_bytes == pytest.approx(base)
+        assert np.isfinite(rep.avg_bytes)
+        assert rep.samples == 1
+
+    def test_trim_boundary_exact(self):
+        """skip_startup == len(series) also takes the fallback; one more
+        sample and trimming applies normally again."""
+        rt = Runtime(core2_cluster(1), n_tasks=8)
+        sampler = MemorySampler(rt)
+        sampler.sample()
+        sampler.sample()
+        rep = sampler.report(skip_startup=2)   # == len(series): fallback
+        assert rep.samples == 2
+        rt.node_space(0).alloc(4 << 20, label="late")
+        sampler.sample()
+        rep = sampler.report(skip_startup=2)   # now trims to the last one
+        assert rep.avg_bytes == pytest.approx(rt.node_live_bytes(0))
+
+    def test_negative_skip_startup_rejected(self):
+        rt = Runtime(core2_cluster(1), n_tasks=8)
+        sampler = MemorySampler(rt)
+        sampler.sample()
+        with pytest.raises(ValueError, match="skip_startup"):
+            sampler.report(skip_startup=-1)
+
 
 class TestTable:
     def test_render_alignment(self):
@@ -198,3 +232,49 @@ class TestSharedWindow:
 
         res = rt.run(main)
         assert res[0] == 2 * 1024 * 8
+
+    def test_overlapping_offsets_rejected(self):
+        rt = Runtime(core2_cluster(1), n_tasks=2, timeout=5.0)
+
+        def main(ctx):
+            c = ctx.comm_world.split_by_node()
+            SharedWindow.allocate_shared(c, 4, offsets={0: 0, 1: 2})
+
+        with pytest.raises(MPIError, match="overlap"):
+            rt.run(main)
+
+    def test_out_of_range_offsets_rejected(self):
+        rt = Runtime(core2_cluster(1), n_tasks=2, timeout=5.0)
+
+        def main(ctx):
+            c = ctx.comm_world.split_by_node()
+            SharedWindow.allocate_shared(c, 4, offsets={0: 0, 1: 6})
+
+        with pytest.raises(MPIError, match="exceeds the window"):
+            rt.run(main)
+
+    def test_process_backend_rejected_not_silently_private(self):
+        """The process backend has no shared address space to map the
+        window into; it must raise instead of handing each rank a
+        private buffer that silently drops peer stores."""
+        from repro.runtime import ProcessRuntime
+
+        rt = ProcessRuntime(core2_cluster(1), n_tasks=2, timeout=5.0)
+
+        def main(ctx):
+            c = ctx.comm_world.split_by_node()
+            SharedWindow.allocate_shared(c, 4)
+
+        with pytest.raises(MPIError, match="no shared address space"):
+            rt.run(main)
+
+    def test_negative_count_rejected(self):
+        rt = Runtime(core2_cluster(1), n_tasks=2, timeout=5.0)
+
+        def main(ctx):
+            SharedWindow.allocate_shared(
+                ctx.comm_world.split_by_node(), -1
+            )
+
+        with pytest.raises(MPIError):
+            rt.run(main)

@@ -1,0 +1,153 @@
+"""Request-set semantics: ``testall`` must progress *every* request
+(the short-circuit regression), and ``waitany`` coverage for mixed
+ready/pending sets, its backoff path and fairness."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import Request, Runtime
+from repro.runtime.message import Status
+
+
+def run(n, main, **kw):
+    kw.setdefault("timeout", 5.0)
+    return Runtime(n_tasks=n, **kw).run(main)
+
+
+def make_request(*, ready_after=0, value="v"):
+    """A synthetic request whose try_complete succeeds from the
+    ``ready_after``-th poll on, counting every poll."""
+    state = {"calls": 0}
+
+    def try_complete():
+        state["calls"] += 1
+        if state["calls"] > ready_after:
+            return (value, Status())
+        return None
+
+    req = Request(
+        kind="recv",
+        try_complete=try_complete,
+        block_complete=lambda: (value, Status()),
+    )
+    return req, state
+
+
+class TestTestall:
+    def test_tests_every_request_not_just_the_first(self):
+        """Regression: a short-circuiting conjunction stops at the first
+        incomplete request, so later requests are never progressed.
+        MPI_Testall polls them all."""
+        blocked, blocked_state = make_request(ready_after=10**9)
+        ready, ready_state = make_request(value="done")
+        assert Request.testall([blocked, ready]) is False
+        # the second request was polled and completed even though the
+        # first one (earlier in the list) is still pending
+        assert ready_state["calls"] == 1
+        assert ready.done
+        assert blocked_state["calls"] == 1
+
+    def test_true_only_when_all_complete(self):
+        a, _ = make_request()
+        b, _ = make_request(ready_after=2)
+        assert Request.testall([a, b]) is False      # b needs more polls
+        assert a.done and not b.done
+        assert Request.testall([a, b]) is False      # b's 2nd poll
+        assert Request.testall([a, b]) is True       # b's 3rd completes
+        assert Request.testall([]) is True           # vacuous truth
+
+    def test_completed_requests_are_not_repolled(self):
+        a, state = make_request()
+        assert Request.testall([a]) is True
+        Request.testall([a])
+        assert state["calls"] == 1                   # done short-circuits
+
+    def test_regression_end_to_end(self):
+        """Rank 0 posts two receives; only the *second* is satisfied.
+        One testall call must still complete that second request."""
+        def main(ctx):
+            c = ctx.comm_world
+            if ctx.rank == 0:
+                reqs = [c.irecv(source=1, tag=t) for t in (1, 2)]
+                c.recv(source=1, tag=9)              # tag-2 send is in flight
+                deadline = time.monotonic() + 2.0
+                while not reqs[1].done:
+                    assert Request.testall(reqs) is False
+                    assert time.monotonic() < deadline, (
+                        "testall never progressed the second request"
+                    )
+                c.send("go", dest=1)
+                while not Request.testall(reqs):
+                    pass
+                return Request.waitall(reqs)
+            c.send("second", dest=0, tag=2)
+            c.send("posted", dest=0, tag=9)
+            c.recv(source=0)                          # wait until observed
+            c.send("first", dest=0, tag=1)
+            return None
+
+        res = run(2, main)
+        assert res[0] == ["first", "second"]
+
+
+class TestWaitany:
+    def test_mixed_ready_pending_picks_the_ready_one(self):
+        pending, pstate = make_request(ready_after=10**9)
+        ready, _ = make_request(value="hit")
+        idx, val = Request.waitany([pending, ready])
+        assert (idx, val) == (1, "hit")
+        assert pstate["calls"] >= 1                  # the sweep polled it
+
+    def test_fairness_lowest_ready_index_wins(self):
+        a, _ = make_request(value="a")
+        b, _ = make_request(value="b")
+        assert Request.waitany([a, b]) == (0, "a")
+
+    def test_backoff_path_still_completes(self):
+        """A request that needs many empty sweeps (>2) exercises the
+        sleep-backoff branch and must still complete with the right
+        result."""
+        slow, state = make_request(ready_after=12, value="late")
+        other, _ = make_request(ready_after=10**9)
+        start = time.monotonic()
+        idx, val = Request.waitany([other, slow])
+        assert (idx, val) == (1, "late")
+        assert state["calls"] >= 12                  # >2 sweeps happened
+        assert time.monotonic() - start < 2.0        # backoff stays tiny
+
+    def test_result_matches_wait(self):
+        """waitany's (index, result) must be exactly what wait() on that
+        request returns; the request is left completed."""
+        req, _ = make_request(ready_after=3, value={"k": 7})
+        idx, val = Request.waitany([req])
+        assert idx == 0 and val == {"k": 7}
+        assert req.done
+        assert req.wait() == {"k": 7}                # idempotent
+
+    def test_end_to_end_delayed_sender(self):
+        """Real mailbox: the only matching send arrives ~50ms late, so
+        waitany provably spins through the backoff before completing."""
+        def main(ctx):
+            c = ctx.comm_world
+            if ctx.rank == 0:
+                reqs = [c.irecv(source=1, tag=t) for t in (0, 1)]
+                # only the tag-1 send exists yet, so waitany must sweep
+                # (empty-handed at first) until it lands
+                idx, val = Request.waitany(reqs)
+                assert (idx, val) == (1, "slow")
+                c.send("go", dest=1)
+                reqs[0].wait()
+                return val
+            time.sleep(0.05)
+            c.send("slow", dest=0, tag=1)
+            c.recv(source=0)                          # waitany returned
+            c.send("other", dest=0, tag=0)
+            return None
+
+        assert run(2, main)[0] == "slow"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Request.waitany([])
