@@ -53,7 +53,13 @@ class RMAMetrics:
     def from_runtime(cls, runtime: Any) -> "RMAMetrics":
         """Aggregate the per-window counters of one runtime."""
         m = cls()
-        for st in getattr(runtime, "_windows", []):
+        win_lock = getattr(runtime, "_win_lock", None)
+        if win_lock is not None:
+            with win_lock:
+                windows = list(getattr(runtime, "_windows", []))
+        else:
+            windows = list(getattr(runtime, "_windows", []))
+        for st in windows:
             if st is None:
                 continue
             m.windows += 1

@@ -138,8 +138,13 @@ class _WinShared:
         self.data_lock = threading.Lock()     # accumulate atomicity
         self.stats_lock = threading.Lock()
         self.counters = _WinCounters()
-        # PSCW: target comm-rank -> {"origins": frozenset, "completed": set}
+        # PSCW: target comm-rank ->
+        #   {"gen": int, "origins": frozenset, "completed": set}
+        # ``gen`` is a per-target generation counter so an origin's
+        # start() never matches an exposure epoch it already completed
+        # against (repeated post/start/complete/wait loops).
         self.exposure: Dict[int, Dict[str, Any]] = {}
+        self.exposure_gen: Dict[int, int] = {}
         # passive target: target comm-rank -> {holder comm-rank: mode}
         self.lock_holders: Dict[int, Dict[int, str]] = {}
         # per-(origin world-rank, target comm-rank) mirror allocations of
@@ -188,6 +193,10 @@ class Win:
         # origin-side epoch state (only ever touched by this task)
         self._fence_open = False
         self._started: Optional[FrozenSet[int]] = None
+        # exposure generation matched by the open access epoch, and the
+        # last generation this origin completed against, per target
+        self._started_gens: Dict[int, int] = {}
+        self._completed_gen: Dict[int, int] = {}
         self._held_locks: Dict[int, str] = {}
         self._lock_all = False
 
@@ -422,11 +431,18 @@ class Win:
             nbytes,
             1,
         )
-        space = rt.space_for(origin_w)
-        alloc = space.alloc(
-            seg_bytes, label=f"rma-mirror(w{st.id}:{origin_w}->{target})",
-            kind="runtime", owner=origin_w,
-        )
+        try:
+            space = rt.space_for(origin_w)
+            alloc = space.alloc(
+                seg_bytes, label=f"rma-mirror(w{st.id}:{origin_w}->{target})",
+                kind="runtime", owner=origin_w,
+            )
+        except BaseException:
+            # drop the reservation so a later access retries the mirror
+            # allocation instead of silently skipping it forever
+            with st.stats_lock:
+                st.mirrors.pop(key, None)
+            raise
         with st.stats_lock:
             st.mirrors[key] = (space, alloc)
             st.counters.mirror_bytes += seg_bytes
@@ -456,12 +472,17 @@ class Win:
         seg = self._segment(target, target_disp, int(arr.size))
         st = self._shared
         if self._direct(target):
-            np.copyto(seg, arr)
+            # the store itself is zero-copy; the lock only serialises it
+            # against a concurrent accumulate's read-modify-write so the
+            # accumulate's per-window atomicity holds
+            with st.data_lock:
+                np.copyto(seg, arr)
             st.note(zero_copy_hits=1, zero_copy_bytes=nbytes)
         else:
             staged = clone(arr)          # origin-side serialisation copy
             self._stage(target, nbytes)
-            np.copyto(seg, staged)
+            with st.data_lock:
+                np.copyto(seg, staged)
         st.note(puts=1, bytes=nbytes)
 
     def get(
@@ -588,7 +609,11 @@ class Win:
                 raise MPIError(
                     f"rank {self.rank} already has an exposure epoch open"
                 )
-            st.exposure[self.rank] = {"origins": origins, "completed": set()}
+            gen = st.exposure_gen.get(self.rank, 0) + 1
+            st.exposure_gen[self.rank] = gen
+            st.exposure[self.rank] = {
+                "gen": gen, "origins": origins, "completed": set(),
+            }
             st.cond.notify_all()
 
     def start(self, group: Iterable[int]) -> None:
@@ -603,15 +628,28 @@ class Win:
             raise MPIError("access epoch already started")
         st = self._shared
 
-        def posted() -> bool:
-            return all(
-                t in st.exposure and self.rank in st.exposure[t]["origins"]
-                for t in targets
+        def fresh(t: int) -> bool:
+            # match only an exposure epoch newer than the last one this
+            # origin completed against -- a stale entry (still present
+            # until the target's wait() deletes it) must not satisfy the
+            # *next* start() of a repeated post/start/complete/wait loop
+            exp = st.exposure.get(t)
+            return (
+                exp is not None
+                and self.rank in exp["origins"]
+                and self.rank not in exp["completed"]
+                and exp["gen"] > self._completed_gen.get(t, 0)
             )
+
+        def posted() -> bool:
+            return all(fresh(t) for t in targets)
 
         with st.cond:
             if st.wait_for(posted, f"start({sorted(targets)})"):
                 st.note(epoch_waits=1)
+            self._started_gens = {
+                t: st.exposure[t]["gen"] for t in targets
+            }
         self._started = targets
 
     def complete(self) -> None:
@@ -626,10 +664,18 @@ class Win:
         with st.cond:
             for t in self._started:
                 exp = st.exposure.get(t)
-                if exp is not None and self.rank in exp["origins"]:
+                if (
+                    exp is not None
+                    and exp["gen"] == self._started_gens.get(t)
+                    and self.rank in exp["origins"]
+                ):
                     exp["completed"].add(self.rank)
+                self._completed_gen[t] = self._started_gens.get(
+                    t, self._completed_gen.get(t, 0)
+                )
             st.cond.notify_all()
         self._started = None
+        self._started_gens = {}
 
     def wait(self) -> None:
         """Close this target's exposure epoch once every origin

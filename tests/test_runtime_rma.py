@@ -170,6 +170,40 @@ def test_pscw_start_blocks_until_post():
     assert rt.rma_metrics().epoch_waits >= 1
 
 
+@pytest.mark.parametrize("factory", RUNTIMES.values(), ids=RUNTIMES.keys())
+def test_pscw_repeated_epochs(factory):
+    """A repeated post/start/complete/wait loop must match each start()
+    with a *fresh* exposure epoch.  Regression: start() used to match
+    the target's previous, already-completed exposure (still present
+    until the target's wait() deletes it), so the origin's complete()
+    was lost and the target's next wait() deadlocked.  The target
+    sleeps between post and wait to leave the stale entry visible."""
+    EPOCHS = 3
+
+    def main(ctx):
+        import time
+        c = ctx.comm_world
+        win = Win.allocate(c, 1)
+        out = []
+        if ctx.rank == 0:
+            for _ in range(EPOCHS):
+                win.post([1])
+                time.sleep(0.2)
+                win.wait()
+                out.append(float(win.local()[0]))
+        elif ctx.rank == 1:
+            for e in range(EPOCHS):
+                win.start([0])
+                win.put(np.array([float(e + 1)]), 0)
+                win.complete()
+        c.barrier()
+        win.free()
+        return out
+
+    res = factory().run(main)
+    assert res[0] == [1.0, 2.0, 3.0]
+
+
 # -------------------------------------------------------- passive target
 @pytest.mark.parametrize("factory", RUNTIMES.values(), ids=RUNTIMES.keys())
 def test_exclusive_lock_serialises_read_modify_write(factory):
