@@ -24,10 +24,11 @@ import pytest
 _ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
 #: per-artifact measurement queues, drained at session end
-_QUEUES = {"p2p": [], "rma": []}
+_QUEUES = {"p2p": [], "rma": [], "memory": []}
 _PATHS = {
     "p2p": os.path.join(_ROOT, "BENCH_p2p.json"),
     "rma": os.path.join(_ROOT, "BENCH_rma.json"),
+    "memory": os.path.join(_ROOT, "BENCH_memory.json"),
 }
 
 
@@ -45,6 +46,12 @@ def record_p2p(name, **fields):
 def record_rma(name, **fields):
     """Queue one RMA measurement for the BENCH_rma.json trajectory."""
     _QUEUES["rma"].append({"name": name, **fields})
+
+
+def record_memory(name, **fields):
+    """Queue one footprint measurement for the BENCH_memory.json
+    trajectory (per-node MB plus the per-level/per-kind breakdowns)."""
+    _QUEUES["memory"].append({"name": name, **fields})
 
 
 def _append_trajectory(path, results):

@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.hls import HLSProgram, enable_process_hls
 from repro.machine import core2_cluster
-from repro.metrics import MemoryReport, MemorySampler
+from repro.metrics import MemoryMetrics, MemoryReport, MemorySampler
 from repro.runtime import CommStats, ProcessRuntime, Runtime
 
 RUNTIMES = ("mpc", "openmpi")
@@ -59,6 +59,7 @@ class EulerMHDConfig:
     local_n: int = 24                # live per-task mesh block (scaled)
     eos_n: int = 64                  # live EOS table resolution
     seed: int = 3
+    sharing: str = "private"         # zero-copy policy (mpc only)
 
     def __post_init__(self) -> None:
         if self.runtime not in RUNTIMES:
@@ -67,6 +68,10 @@ class EulerMHDConfig:
             # Possible via the shared-segment backend, but the paper
             # only evaluates HLS on MPC.
             raise ValueError("Table II evaluates HLS on MPC only")
+        if self.sharing not in ("private", "shared"):
+            raise ValueError(f"unknown sharing policy {self.sharing!r}")
+        if self.sharing == "shared" and self.runtime == "openmpi":
+            raise ValueError("the process backend cannot share address space")
 
     @property
     def n_tasks(self) -> int:
@@ -86,6 +91,8 @@ class AppRunResult:
     mem: MemoryReport
     comm: CommStats
     checksum: float                  # solver output, for variant equivalence
+    #: end-of-run per-node / per-level / per-kind live-bytes snapshot
+    memory_metrics: Optional[MemoryMetrics] = None
 
 
 def make_runtime(cfg) -> Runtime:
@@ -96,7 +103,10 @@ def make_runtime(cfg) -> Runtime:
         if cfg.hls:
             enable_process_hls(rt)
         return rt
-    return Runtime(machine, n_tasks=cfg.n_tasks, timeout=120.0)
+    return Runtime(
+        machine, n_tasks=cfg.n_tasks, timeout=120.0,
+        sharing=getattr(cfg, "sharing", "private"),
+    )
 
 
 def run_eulermhd(cfg: EulerMHDConfig) -> AppRunResult:
@@ -167,6 +177,7 @@ def run_eulermhd(cfg: EulerMHDConfig) -> AppRunResult:
         mem=sampler.report(),
         comm=rt.stats,
         checksum=float(np.sum(sums)),
+        memory_metrics=rt.memory_metrics(),
     )
 
 

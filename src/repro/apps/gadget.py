@@ -153,6 +153,7 @@ def run_gadget(cfg: GadgetConfig) -> AppRunResult:
         mem=sampler.report(),
         comm=rt.stats,
         checksum=float(np.sum(sums)),
+        memory_metrics=rt.memory_metrics(),
     )
 
 

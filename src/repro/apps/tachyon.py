@@ -180,6 +180,7 @@ def run_tachyon(cfg: TachyonConfig) -> TachyonResult:
         mem=sampler.report(),
         comm=rt.stats,
         checksum=float(sums[0]),
+        memory_metrics=rt.memory_metrics(),
         elided_messages=rt.stats.elided,
         elided_bytes=rt.stats.elided_bytes,
     )

@@ -64,12 +64,16 @@ class PageMerger:
         *,
         scan_cost_per_byte: float = 0.1,
         fault_cost: float = 2000.0,
+        runtime=None,
     ) -> None:
         self._regions: Dict[Tuple[int, str], _Region] = {}
         self._lock = threading.Lock()
         self.stats = MergeStats()
         self.scan_cost_per_byte = scan_cost_per_byte
         self.fault_cost = fault_cost
+        #: optional runtime whose memory manager accounts registered
+        #: regions (kind "baseline" in the owner task's space)
+        self.runtime = runtime
 
     # -------------------------------------------------------------- regions
     def register(self, rank: int, name: str, array: np.ndarray) -> None:
@@ -81,6 +85,11 @@ class PageMerger:
             if key in self._regions:
                 raise KeyError(f"region {key} already registered")
             self._regions[key] = _Region(rank=rank, name=name, data=flat)
+        if self.runtime is not None:
+            self.runtime.space_for(rank).alloc(
+                max(len(flat), 1), label=f"sbll:{name}", kind="baseline",
+                owner=rank,
+            )
 
     def _pages(self, region: _Region) -> int:
         return (len(region.data) + PAGE - 1) // PAGE

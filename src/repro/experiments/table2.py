@@ -70,6 +70,21 @@ class MemoryTableResult:
             )
         return t.render()
 
+    def breakdown_report(self) -> str:
+        """Where each variant's bytes live: end-of-run live bytes per
+        hierarchy level (from ``AppRunResult.memory_metrics``)."""
+        lines = [f"{self.title} -- per-level live bytes"]
+        for (cores, label), res in sorted(self.rows.items()):
+            mm = res.memory_metrics
+            if mm is None:
+                continue
+            detail = ", ".join(
+                f"{lvl}={mm.by_level[lvl] / (1 << 20):.1f}MB"
+                for lvl in sorted(mm.by_level)
+            )
+            lines.append(f"  {cores} cores, {label}: {detail}")
+        return "\n".join(lines)
+
 
 def run_table2(
     *, core_counts: Sequence[int] = (256, 512, 736), **config_overrides
@@ -92,4 +107,6 @@ def run_table2(
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(run_table2().render())
+    result = run_table2()
+    print(result.render())
+    print(result.breakdown_report())

@@ -49,4 +49,6 @@ def run_table3(
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(run_table3().render())
+    result = run_table3()
+    print(result.render())
+    print(result.breakdown_report())

@@ -48,4 +48,6 @@ def run_table4(
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(run_table4().render())
+    result = run_table4()
+    print(result.render())
+    print(result.breakdown_report())

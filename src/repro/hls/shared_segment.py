@@ -7,9 +7,16 @@ Additionally this shared memory segment should start with the same
 virtual address for all processes on the node" -- the isomalloc
 technique of PM2.
 
-Here each node gets one :class:`~repro.memsim.address_space.AddressSpace`
-carved at a *fixed base address identical on every node* (the isomalloc
-property), and :func:`enable_process_hls` installs it as the runtime's
+Here each node gets one segment :class:`~repro.memory.arena.Arena` from
+the runtime's :class:`~repro.memory.manager.MemoryManager`.  The
+manager's base-address registry hands every node's segment the *same*
+region (``reserve_shared``), which is the isomalloc property: the
+segment starts at one fixed virtual address on every node, so
+cross-process pointers into HLS data are valid.  Distinct nodes never
+exchange raw pointers, so aliasing their ranges is safe -- and it is the
+one sanctioned exception to the registry's disjointness guarantee.
+
+:func:`enable_process_hls` installs the manager as the runtime's
 ``hls_segment`` so :class:`~repro.hls.storage.HLSStorage` routes HLS
 allocations into it instead of per-process memory.  The
 :class:`InterposedHeap` plays the role of the ``LD_PRELOAD`` malloc
@@ -20,17 +27,12 @@ land in the shared segment, others in the task's private space.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict
 
-from repro.memsim.address_space import AddressSpace, Allocation
+from repro.memory import SEGMENT_KEY
+from repro.memory.arena import Arena
+from repro.memsim.address_space import Allocation
 from repro.runtime.process_mpi import ProcessRuntime
-
-#: The fixed virtual base of the shared segment; identical on all nodes
-#: (and thus on all processes), which is what makes cross-process
-#: pointers to HLS data valid.
-SEGMENT_BASE = 1 << 45
-SEGMENT_STRIDE = 1 << 40   # keeps per-node segments disjoint *globally*
-                           # while bases coincide per-process on a node
 
 
 class SharedSegmentManager:
@@ -38,28 +40,17 @@ class SharedSegmentManager:
 
     def __init__(self, runtime: ProcessRuntime) -> None:
         self.runtime = runtime
-        self._segments: Dict[int, AddressSpace] = {}
-        self._lock = threading.Lock()
 
-    def segment(self, node: int) -> AddressSpace:
-        with self._lock:
-            seg = self._segments.get(node)
-            if seg is None:
-                # Every process on `node` maps the segment at the same
-                # virtual address (SEGMENT_BASE); distinct nodes never
-                # exchange raw pointers, so a global simulator may place
-                # them at disjoint ranges internally.
-                seg = AddressSpace(base=SEGMENT_BASE, name=f"hls-segment-node{node}")
-                self._segments[node] = seg
-            return seg
+    def segment(self, node: int) -> Arena:
+        return self.runtime.memory.segment_arena(node)
 
     def node_bytes(self, node: int) -> int:
-        seg = self._segments.get(node)
-        return seg.live_bytes if seg is not None else 0
+        return self.segment(node).live_bytes
 
     def virtual_base(self, node: int) -> int:
         """The address every process on ``node`` sees the segment at."""
-        return SEGMENT_BASE
+        base, _limit = self.runtime.memory.registry.reserve_shared(SEGMENT_KEY)
+        return base
 
 
 class InterposedHeap:
@@ -116,27 +107,20 @@ def enable_process_hls(runtime: ProcessRuntime) -> SharedSegmentManager:
     """Wire the shared-segment backend into a process-based runtime.
 
     After this, :class:`~repro.hls.storage.HLSStorage` allocates HLS
-    module images in the node's shared segment, and
-    ``runtime.node_live_bytes`` counts the segment once per node (not
-    once per process).  Returns the manager for inspection.
+    module images in the node's shared segment.  The memory manager
+    counts each segment arena once per node natively (not once per
+    process), so no accounting override is needed.  Returns the manager
+    for inspection.
     """
     if not isinstance(runtime, ProcessRuntime):
         raise TypeError("shared segments are only needed for process-based MPIs")
     mgr = SharedSegmentManager(runtime)
     runtime.hls_segment = mgr.segment  # consumed by HLSStorage
-
-    orig_node_live = runtime.node_live_bytes
-
-    def node_live_bytes(node: int) -> int:
-        return orig_node_live(node) + mgr.node_bytes(node)
-
-    runtime.node_live_bytes = node_live_bytes  # type: ignore[method-assign]
     runtime.hls_segment_manager = mgr
     return mgr
 
 
 __all__ = [
-    "SEGMENT_BASE",
     "SharedSegmentManager",
     "InterposedHeap",
     "enable_process_hls",

@@ -85,14 +85,16 @@ class HLSStorage:
         rt = self.runtime
         if kind == "task":
             return rt.space_for(rank)
-        # HLS storage lives once per scope instance.  On the thread
-        # backend that is the node's space; the process backend routes
-        # through its per-node shared segment (section IV-C).
-        node = rt.node_of(rank)
+        # HLS storage lives once per scope instance, in that instance's
+        # own arena: a numa- or cache(2)-scoped variable is placed (and
+        # accounted) at its level of the hierarchy, not collapsed into
+        # the node space.  The process backend instead routes every HLS
+        # slot through its per-node shared segment (section IV-C) --
+        # processes can only share what the isomalloc segment maps.
         seg = getattr(rt, "hls_segment", None)
         if seg is not None:
-            return seg(node)
-        return rt.node_space(node)
+            return seg(rt.node_of(rank))
+        return rt.memory.scope_arena(where)
 
     def _materialise(self, key: _SlotKey, module: HLSModule, rank: int) -> ModuleImage:
         with self._slot_lock(key):
@@ -173,8 +175,26 @@ class HLSStorage:
             img.alloc.size for key, img in self._images.items() if key[0] == "task"
         )
 
+    def live_bytes_by_level(self) -> Dict[str, int]:
+        """HLS image bytes per hierarchy level (figure-2 accounting):
+        ``node``/``numa``/``cache(L)``/``core`` for shared images,
+        ``task`` for the private per-task copies."""
+        from repro.memory import LEVEL_TASK, scope_level
+
+        machine = self.runtime.machine
+        out: Dict[str, int] = {}
+        for key, img in self._images.items():
+            kind, where, _mod = key
+            level = (
+                scope_level(machine.canonical_scope(where.spec))
+                if kind == "hls" else LEVEL_TASK
+            )
+            out[level] = out.get(level, 0) + img.alloc.size
+        return out
+
     def layout_report(self) -> str:
-        """Figure-2-style dump of the live HLS structures."""
+        """Figure-2-style dump of the live HLS structures, with the
+        per-hierarchy-level footprint totals appended."""
         lines = ["HLS storage layout:"]
         for key in sorted(self._images, key=str):
             kind, where, mod = key
@@ -185,6 +205,11 @@ class HLSStorage:
                 f"  module {mod} @ {place}: addr={img.alloc.addr:#x} "
                 f"size={img.alloc.size}B vars=[{vars_}]"
             )
+        levels = self.live_bytes_by_level()
+        if levels:
+            lines.append("  bytes per level: " + ", ".join(
+                f"{lvl}={levels[lvl]}B" for lvl in sorted(levels)
+            ))
         return "\n".join(lines)
 
 

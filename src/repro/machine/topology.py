@@ -203,6 +203,39 @@ class Machine:
             return ScopeInstance(spec, pu.core)
         raise AssertionError(kind)
 
+    def canonical_scope(self, spec: ScopeSpec) -> ScopeSpec:
+        """``spec`` with default (``None``) levels resolved: the LLC for
+        ``cache``, the innermost domain for ``numa``.  Two specs naming
+        the same physical scope canonicalise identically, which is what
+        lets the memory arena layer key one arena per *physical* scope
+        instance (``"cache"`` and ``"cache(llc)"`` must not get two)."""
+        if spec.kind is ScopeKind.CACHE and spec.level is None:
+            if not self.caches:
+                raise ValueError(f"machine {self.name!r} has no caches")
+            return ScopeSpec(spec.kind, self.llc_level)
+        if spec.kind is ScopeKind.NUMA and spec.level is None:
+            return ScopeSpec(spec.kind, 1)
+        return spec
+
+    def scope_instance_node(self, instance: ScopeInstance) -> int:
+        """The machine node an instance lives on (scopes never span
+        nodes), used to attribute per-scope arenas to node footprints."""
+        spec, index = instance.spec, instance.index
+        kind = spec.kind
+        if kind is ScopeKind.NODE:
+            return index
+        if kind is ScopeKind.NUMA:
+            level = spec.level if spec.level is not None else 1
+            return index if level == 2 else index // self.sockets_per_node
+        if kind is ScopeKind.CACHE:
+            level = spec.level if spec.level is not None else self.llc_level
+            spec_ = self.caches[level]
+            per_socket = self.cores_per_socket // spec_.shared_cores
+            return index // per_socket // self.sockets_per_node
+        if kind is ScopeKind.CORE:
+            return index // (self.sockets_per_node * self.cores_per_socket)
+        raise AssertionError(kind)
+
     def scope_members(self, instance: ScopeInstance) -> Tuple[int, ...]:
         """All PU gids belonging to ``instance`` (cached)."""
         got = self._members_cache.get(instance)

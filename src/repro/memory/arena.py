@@ -1,0 +1,80 @@
+"""Memory arenas: an address space plus its place in the hierarchy.
+
+An :class:`Arena` is the unit of the scope-aware allocation layer: one
+bounded :class:`~repro.memsim.address_space.AddressSpace` carved out of
+a registry region, tagged with *where it lives* -- the
+:class:`~repro.machine.scopes.ScopeInstance` it backs (HLS scope
+arenas), the task that owns it (process-backend private images) or the
+node it belongs to (isomalloc segments).  The tags are what let
+:class:`~repro.memory.manager.MemoryManager` attribute every live byte
+to a node and a hierarchy level, and let ``Runtime.finalize`` name the
+owner of anything left unfreed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.memsim.address_space import AddressSpace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.scopes import ScopeInstance
+
+#: canonical allocation-kind taxonomy shared by every call site
+#: (``Allocation.kind``): application data, runtime comm buffers and
+#: pools, HLS module images / shared-segment heap, RMA windows and
+#: mirrors, legacy comm tag, and §VI baseline registrations.
+KINDS = ("app", "runtime", "hls", "rma", "comm", "baseline")
+
+#: hierarchy-level buckets an arena can be accounted under.  Scope
+#: arenas use the paper's four levels (cache levels spelled out, e.g.
+#: ``cache(2)``); ``task`` is a process-backend private image space and
+#: ``segment`` an isomalloc HLS segment (both node-resident).
+LEVEL_TASK = "task"
+LEVEL_SEGMENT = "segment"
+
+
+class Arena(AddressSpace):
+    """One bounded address space with hierarchy identity."""
+
+    def __init__(
+        self,
+        *,
+        base: int,
+        limit: Optional[int],
+        name: str,
+        level: str,
+        scope: Optional["ScopeInstance"] = None,
+        node: Optional[int] = None,
+        owner_task: Optional[int] = None,
+    ) -> None:
+        super().__init__(base=base, name=name, limit=limit)
+        #: hierarchy-level bucket ("node", "numa", "cache(L)", "core",
+        #: "task", "segment")
+        self.level = level
+        #: the scope instance this arena backs, for scope arenas
+        self.scope = scope
+        #: fixed home node, when the arena cannot migrate
+        self.node = node
+        #: owning task rank, for per-task arenas (its node may change
+        #: when the task migrates)
+        self.owner_task = owner_task
+
+    def home_node(self, runtime) -> Optional[int]:
+        """The node this arena's bytes count against right now."""
+        if self.owner_task is not None:
+            return runtime.node_of(self.owner_task)
+        return self.node
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = self.scope if self.scope is not None else (
+            f"task{self.owner_task}" if self.owner_task is not None
+            else f"node{self.node}"
+        )
+        return (
+            f"Arena({self.name!r}, level={self.level!r}, at={where}, "
+            f"live={self.live_bytes}B)"
+        )
+
+
+__all__ = ["Arena", "KINDS", "LEVEL_TASK", "LEVEL_SEGMENT"]

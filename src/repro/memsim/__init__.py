@@ -21,7 +21,7 @@ sizes can be scaled down together without changing which working sets
 fit where -- the property all the paper's shapes rest on.
 """
 
-from repro.memsim.address_space import AddressSpace, Allocation
+from repro.memsim.address_space import AddressSpace, AddressSpaceExhausted, Allocation
 from repro.memsim.cache import SetAssociativeCache
 from repro.memsim.hierarchy import CacheHierarchy, AccessStats, MEMORY_LEVEL, REMOTE_LEVEL
 from repro.memsim.timing import TimingModel, RunTiming
@@ -35,6 +35,7 @@ from repro.memsim.traces import (
 
 __all__ = [
     "AddressSpace",
+    "AddressSpaceExhausted",
     "Allocation",
     "SetAssociativeCache",
     "CacheHierarchy",

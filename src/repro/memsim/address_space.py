@@ -15,10 +15,22 @@ only the *layout* matters to the cache simulator and the accountant.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 PAGE_SIZE = 4096
+
+
+class AddressSpaceExhausted(MemoryError):
+    """A bounded address space ran past its ``limit``.
+
+    Raised by :meth:`AddressSpace.alloc` when the space was carved out
+    of a fixed region by the base-address registry
+    (:mod:`repro.memory`) and the bump pointer would cross the region
+    end -- allocations from distinct regions must stay provably
+    disjoint, so overflowing into the neighbour is an error, never a
+    silent wrap."""
 
 
 @dataclass(frozen=True)
@@ -28,7 +40,7 @@ class Allocation:
     addr: int
     size: int
     label: str
-    kind: str = "app"       # "app" | "runtime" | "hls" | "comm"
+    kind: str = "app"       # see repro.memory.KINDS: "app" | "runtime" | "hls" | "rma" | "comm" | "baseline"
     owner: Optional[int] = None  # task rank, or None for node-wide storage
 
     @property
@@ -52,15 +64,36 @@ class AddressSpace:
     runtime, and even per-process spaces receive foreign allocations
     (eager connection buffers posted by the sender's thread)."""
 
-    def __init__(self, *, base: int = 1 << 32, name: str = "as") -> None:
+    def __init__(
+        self,
+        *,
+        base: int = 1 << 32,
+        name: str = "as",
+        limit: Optional[int] = None,
+    ) -> None:
+        if limit is not None and limit <= base:
+            raise ValueError(f"limit {limit:#x} must exceed base {base:#x}")
         self.name = name
         self._base = base
+        self._limit = limit
         self._next = base
         self._live: Dict[int, Allocation] = {}
+        # Bump allocation never recycles addresses, so allocation start
+        # addresses only ever grow: appending keeps this list sorted and
+        # ``find`` can bisect instead of scanning every live record.
+        self._addrs: List[int] = []
         self._freed_bytes = 0
         self._live_bytes = 0
         self._peak_live = 0
         self._lock = threading.Lock()
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    @property
+    def limit(self) -> Optional[int]:
+        return self._limit
 
     # ------------------------------------------------------------------ alloc
     def alloc(
@@ -79,9 +112,15 @@ class AddressSpace:
             raise ValueError(f"alignment must be a positive power of two, got {align}")
         with self._lock:
             addr = (self._next + align - 1) & ~(align - 1)
+            if self._limit is not None and addr + size > self._limit:
+                raise AddressSpaceExhausted(
+                    f"{self.name}: allocation of {size}B at {addr:#x} "
+                    f"exceeds the region limit {self._limit:#x}"
+                )
             self._next = addr + size
             rec = Allocation(addr=addr, size=size, label=label, kind=kind, owner=owner)
             self._live[addr] = rec
+            self._addrs.append(addr)
             self._live_bytes += size
             self._peak_live = max(self._peak_live, self._live_bytes)
         return rec
@@ -108,7 +147,13 @@ class AddressSpace:
 
     @property
     def peak_live_bytes(self) -> int:
-        return self._peak_live
+        with self._lock:
+            return self._peak_live
+
+    @property
+    def freed_bytes(self) -> int:
+        with self._lock:
+            return self._freed_bytes
 
     def live_allocations(self) -> List[Allocation]:
         with self._lock:
@@ -121,11 +166,20 @@ class AddressSpace:
         return out
 
     def find(self, addr: int) -> Optional[Allocation]:
-        """The live allocation containing ``addr``, or None."""
-        for a in self.live_allocations():
-            if a.contains(addr):
+        """The live allocation containing ``addr``, or None.
+
+        O(log n): allocations are handed out at strictly increasing,
+        never-recycled start addresses and never overlap, so the only
+        candidate is the live record with the greatest start address
+        <= ``addr`` -- found by bisecting the sorted start list."""
+        with self._lock:
+            i = bisect_right(self._addrs, addr) - 1
+            if i < 0:
+                return None
+            a = self._live.get(self._addrs[i])
+            if a is not None and a.contains(addr):
                 return a
-        return None
+            return None
 
     def __len__(self) -> int:
         return len(self._live)
@@ -137,4 +191,4 @@ class AddressSpace:
         )
 
 
-__all__ = ["AddressSpace", "Allocation", "PAGE_SIZE"]
+__all__ = ["AddressSpace", "AddressSpaceExhausted", "Allocation", "PAGE_SIZE"]

@@ -1,6 +1,6 @@
 """Measurement and reporting: memory sampling, efficiency, paper tables."""
 
-from repro.metrics.memory import MemorySampler, MemoryReport
+from repro.metrics.memory import MemoryMetrics, MemorySampler, MemoryReport
 from repro.metrics.collectives import CollectiveMetrics
 from repro.metrics.faults import FaultMetrics
 from repro.metrics.p2p import P2PMetrics
@@ -10,6 +10,7 @@ from repro.metrics.report import Table, format_mb
 from repro.metrics.ascii_plot import line_chart
 
 __all__ = [
+    "MemoryMetrics",
     "MemorySampler",
     "MemoryReport",
     "CollectiveMetrics",

@@ -26,8 +26,6 @@ section IV-C, provided by :mod:`repro.hls.shared_segment`.
 
 from __future__ import annotations
 
-from typing import Dict
-
 from repro.memsim.address_space import AddressSpace
 from repro.runtime.runtime import Runtime
 
@@ -69,37 +67,35 @@ class ProcessRuntime(Runtime):
                 "zero-copy sharing (collective or point-to-point) is "
                 "unavailable"
             )
-        self._task_spaces: Dict[int, AddressSpace] = {}
         super().__init__(*args, **kwargs)
 
     def task_space(self, rank: int) -> AddressSpace:
-        """The private address space of one task (one per process)."""
-        sp = self._task_spaces.get(rank)
-        if sp is None:
-            sp = AddressSpace(base=(rank + 1) << 36, name=f"proc{rank}")
-            self._task_spaces[rank] = sp
-        return sp
+        """The private address space of one task (one per process): its
+        per-task arena.  The base-address registry keeps it disjoint
+        from every node arena -- the legacy ``(rank + 1) << 36`` bases
+        collided with node 0's space at rank 15."""
+        return self.memory.task_arena(rank)
 
     def space_for(self, rank: int) -> AddressSpace:
         return self.task_space(rank)
 
-    def node_live_bytes(self, node: int) -> int:
-        """A node's consumption = sum of its processes + node-level pools."""
-        total = self.node_space(node).live_bytes
-        for r in self.tasks_on_node(node):
-            total += self.task_space(r).live_bytes
-        return total
+    # node_live_bytes needs no override: the memory manager attributes
+    # each task arena to its owner's current node, so a node's total is
+    # its node-level pools plus the private spaces of resident ranks
+    # (plus the HLS shared segment, when enable_process_hls is active).
 
     def _alloc_runtime_memory(self) -> None:
         # Per-process pools: allocate in each task's own space so the
         # node total scales with local ranks * job size.
         for rank in range(self.n_tasks):
-            self.task_space(rank).alloc(
+            space = self.task_space(rank)
+            alloc = space.alloc(
                 self.comm_buffer_bytes(1, self.n_tasks),
                 label=f"{self.backend_name}-comm-buffers",
                 kind="runtime",
                 owner=rank,
             )
+            self._pool_allocs.append((space, alloc))
 
 
 __all__ = ["ProcessRuntime"]

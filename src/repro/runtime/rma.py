@@ -227,7 +227,7 @@ class Win:
         world = comm.world_rank
         space = rt.space_for(world)
         alloc = space.alloc(
-            max(int(local.nbytes), 1), label="rma-window", kind="app",
+            max(int(local.nbytes), 1), label="rma-window", kind="rma",
             owner=world,
         )
         if comm.rank == 0:
@@ -305,7 +305,7 @@ class Win:
             space = rt.node_space(node0)
             alloc = space.alloc(
                 max(int(base.nbytes), 1), label="rma-shared-window",
-                kind="app",
+                kind="rma",
             )
             st.allocs[0] = (space, alloc)
             for r in range(comm.size):
@@ -435,7 +435,7 @@ class Win:
             space = rt.space_for(origin_w)
             alloc = space.alloc(
                 seg_bytes, label=f"rma-mirror(w{st.id}:{origin_w}->{target})",
-                kind="runtime", owner=origin_w,
+                kind="rma", owner=origin_w,
             )
         except BaseException:
             # drop the reservation so a later access retries the mirror

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.machine.topology import Machine, build_machine
 from repro.machine.treemap import collective_levels
+from repro.memory import LeakReport, MemoryManager
 from repro.memsim.address_space import AddressSpace, Allocation
 from repro.metrics.collectives import CollectiveMetrics
 from repro.runtime.abort import AbortSignal
@@ -184,11 +185,17 @@ class Runtime:
         self.tracer: Optional[Any] = None
         self.migration_checks: List[Callable[[TaskContext, int], None]] = []
         self.post_move_hooks: List[Callable[[int, int], None]] = []
-        self._spaces: Dict[int, AddressSpace] = {}
+        #: scope-aware arena layer: every simulated allocation in this
+        #: runtime (HLS images, comm pools, RMA windows, app data) comes
+        #: from one of its arenas -- see repro.memory
+        self.memory = MemoryManager(self)
         #: RMA windows ever created on this runtime (repro.runtime.rma);
         #: aggregated by rma_metrics()
         self._windows: List[Any] = []
         self._win_lock = threading.Lock()
+        #: the runtime's own pool allocations, released by finalize()
+        self._pool_allocs: List[tuple] = []
+        self._finalized = False
         self._alloc_runtime_memory()
         self.contexts: List[Optional[TaskContext]] = [None] * self.n_tasks
         if faults is not None:
@@ -246,22 +253,41 @@ class Runtime:
 
     # ---------------------------------------------------------------- memory
     def node_space(self, node: int) -> AddressSpace:
-        """The shared address space of a node (thread backend)."""
-        sp = self._spaces.get(node)
-        if sp is None:
-            sp = AddressSpace(base=(node + 1) << 40, name=f"node{node}")
-            self._spaces[node] = sp
-        return sp
+        """The shared address space of a node (thread backend): its
+        node-scope arena, lazily materialised by the memory manager."""
+        return self.memory.node_arena(node)
 
     def space_for(self, rank: int) -> AddressSpace:
         return self.node_space(self.node_of(rank))
 
     def all_spaces(self) -> Dict[int, AddressSpace]:
-        return dict(self._spaces)
+        """Materialised node spaces (node-scope arenas), keyed by node."""
+        return dict(self.memory.node_arenas())
 
     def node_live_bytes(self, node: int) -> int:
-        """Live simulated bytes on a node (application + runtime)."""
-        return self.node_space(node).live_bytes
+        """Live simulated bytes attributed to a node, over every arena
+        resident there (application + runtime + HLS at any scope)."""
+        return self.memory.node_live_bytes(node)
+
+    def memory_metrics(self):
+        """Snapshot of the arena layer's accounting: live bytes per
+        node, broken down by hierarchy level (node/numa/cache(L)/core/
+        task/segment) and by allocation kind."""
+        from repro.metrics.memory import MemoryMetrics
+
+        return MemoryMetrics.from_runtime(self)
+
+    def finalize(self) -> LeakReport:
+        """Shut the runtime's memory accounting down: release the comm
+        pools the runtime itself allocated, then report everything of
+        kind ``runtime``/``hls``/``rma`` still live -- each record names
+        its arena, hierarchy level, owner task and label.  Idempotent."""
+        if not self._finalized:
+            self._finalized = True
+            for space, alloc in self._pool_allocs:
+                space.free(alloc)
+            self._pool_allocs = []
+        return self.memory.leak_report()
 
     def comm_buffer_bytes(self, local_tasks: int, total_tasks: int) -> int:
         return (
@@ -274,11 +300,13 @@ class Runtime:
         nodes = {self.node_of(r) for r in range(self.n_tasks)}
         for node in nodes:
             local = len(self.tasks_on_node(node))
-            self.node_space(node).alloc(
+            space = self.node_space(node)
+            alloc = space.alloc(
                 self.comm_buffer_bytes(local, self.n_tasks),
                 label=f"{self.backend_name}-comm-buffers",
                 kind="runtime",
             )
+            self._pool_allocs.append((space, alloc))
 
     # ------------------------------------------------------------ contexts
     def alloc_context(self) -> int:
@@ -393,8 +421,12 @@ class Runtime:
                 f = self.faults
                 if f is not None:
                     f.hit("p2p.alloc", task)
-                return space.alloc(nbytes, label=label, kind="runtime",
-                                   owner=owner)
+                alloc = space.alloc(nbytes, label=label, kind="runtime",
+                                    owner=owner)
+                # eager buffers live for the whole run; finalize()
+                # releases them with the static pools
+                self._pool_allocs.append((space, alloc))
+                return alloc
             except TransientCommError:
                 if attempt >= self.ALLOC_RETRIES:
                     raise
