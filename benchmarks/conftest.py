@@ -24,11 +24,12 @@ import pytest
 _ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
 #: per-artifact measurement queues, drained at session end
-_QUEUES = {"p2p": [], "rma": [], "memory": []}
+_QUEUES = {"p2p": [], "rma": [], "memory": [], "sched": []}
 _PATHS = {
     "p2p": os.path.join(_ROOT, "BENCH_p2p.json"),
     "rma": os.path.join(_ROOT, "BENCH_rma.json"),
     "memory": os.path.join(_ROOT, "BENCH_memory.json"),
+    "sched": os.path.join(_ROOT, "BENCH_sched.json"),
 }
 
 
@@ -46,6 +47,12 @@ def record_p2p(name, **fields):
 def record_rma(name, **fields):
     """Queue one RMA measurement for the BENCH_rma.json trajectory."""
     _QUEUES["rma"].append({"name": name, **fields})
+
+
+def record_sched(name, **fields):
+    """Queue one scheduler measurement (context switches, wall time,
+    virtual time...) for the BENCH_sched.json trajectory."""
+    _QUEUES["sched"].append({"name": name, **fields})
 
 
 def record_memory(name, **fields):

@@ -36,10 +36,12 @@ Quick use::
 
 from repro.faults.plan import ACTIONS, SITES, FaultPlan, FaultSpec
 from repro.faults.inject import ANY_TASK, FaultInjector
+from repro.faults.artifact import ChaosArtifact
 
 __all__ = [
     "ACTIONS",
     "ANY_TASK",
+    "ChaosArtifact",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

@@ -1,0 +1,127 @@
+"""Chaos failure artifacts: a fault plan plus the schedule that ran it.
+
+A seeded chaos failure used to be reproducible from its
+:class:`~repro.faults.plan.FaultPlan` alone only when the OS scheduler
+happened to cooperate.  With the coop execution backend the *schedule*
+is a first-class recorded object too
+(:class:`~repro.runtime.sched.policy.ScheduleTrace`), so a failure
+artifact can capture everything a rerun needs::
+
+    art = ChaosArtifact.from_runtime(rt, plan)   # after the bad run
+    art.dump("chaos_artifact_seed7.json")        # CI uploads this
+
+    art = ChaosArtifact.load(path)               # on the developer box
+    rt = Runtime(machine, n_tasks=art.n_tasks, backend="coop",
+                 schedule=art.replay_schedule(), sharing=art.sharing)
+    rt.install_faults(art.plan)
+    rt.run(workload)                             # the identical failure
+
+Serialisation is canonical JSON (sorted keys, compact separators), the
+same convention as ``FaultPlan.to_json`` and ``ScheduleTrace.to_json``:
+equal artifacts produce the identical string, so the replay test can
+compare artifacts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.runtime.sched.policy import ScheduleTrace
+
+
+@dataclass
+class ChaosArtifact:
+    """Everything needed to replay one chaos run bit-for-bit."""
+
+    #: the fault plan that was installed
+    plan: FaultPlan
+    #: the recorded schedule (None for a threads-backend run, where the
+    #: OS owns the interleaving and nothing can be replayed)
+    trace: Optional[ScheduleTrace] = None
+    #: execution backend of the failing run
+    backend: str = "threads"
+    #: delivery sharing policy of the failing run
+    sharing: str = "private"
+    #: task count (redundant with the trace but present for
+    #: threads-backend artifacts too)
+    n_tasks: int = 0
+    #: free-form context: workload name, failing test id, exception
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    # --------------------------------------------------------------- capture
+    @classmethod
+    def from_runtime(cls, runtime: Any, plan: Optional[FaultPlan] = None,
+                     **meta: Any) -> "ChaosArtifact":
+        """Capture the (plan, schedule) pair of a finished run."""
+        if plan is None:
+            injector = getattr(runtime, "faults", None)
+            plan = injector.plan if injector is not None else FaultPlan()
+        trace_of = getattr(runtime, "schedule_trace", None)
+        trace = trace_of() if trace_of is not None else None
+        return cls(
+            plan=plan,
+            trace=trace,
+            backend=getattr(runtime, "execution_backend", "threads"),
+            sharing=getattr(runtime, "sharing", "private"),
+            n_tasks=getattr(runtime, "n_tasks", 0),
+            meta=dict(meta),
+        )
+
+    # ---------------------------------------------------------------- replay
+    def replay_schedule(self) -> Optional[ScheduleTrace]:
+        """The schedule to pass to ``Runtime(backend="coop",
+        schedule=...)`` -- None when the artifact has no trace (rerun
+        under the recorded backend and hope, as before)."""
+        return self.trace
+
+    # ----------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "plan": self.plan.to_dict(),
+            "trace": None if self.trace is None else self.trace.to_dict(),
+            "backend": self.backend,
+            "sharing": self.sharing,
+            "n_tasks": self.n_tasks,
+            "meta": self.meta,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: equal artifacts produce the identical string."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosArtifact":
+        version = data.get("version", 1)
+        if version != 1:
+            raise ValueError(f"unsupported chaos-artifact version {version}")
+        trace = data.get("trace")
+        return cls(
+            plan=FaultPlan.from_dict(data["plan"]),
+            trace=None if trace is None else ScheduleTrace.from_dict(trace),
+            backend=data.get("backend", "threads"),
+            sharing=data.get("sharing", "private"),
+            n_tasks=data.get("n_tasks", 0),
+            meta=dict(data.get("meta", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosArtifact":
+        return cls.from_dict(json.loads(text))
+
+    def dump(self, path) -> None:
+        """Write the artifact to ``path`` (the CI upload unit)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "ChaosArtifact":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+__all__ = ["ChaosArtifact"]

@@ -105,7 +105,12 @@ class FaultInjector:
         for spec in matched:
             act = spec.action
             if act == "delay":
-                time.sleep(spec.param)
+                # route through the runtime's task sleep so a coop task
+                # parks on the virtual clock instead of blocking the
+                # single runner (and so delays are deterministic under
+                # schedule record/replay)
+                sleep = getattr(self.runtime, "task_sleep", None) or time.sleep
+                sleep(spec.param)
             elif act == "crash":
                 raise InjectedCrash(
                     f"injected crash at {site} hit {n} (task {task})"

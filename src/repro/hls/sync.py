@@ -52,6 +52,8 @@ class ScopeSyncState:
         timeout: float,
         groups: Optional[Dict[int, int]] = None,
         faults: Optional[Any] = None,
+        condition: Optional[Any] = None,
+        clock: Optional[Any] = None,
     ) -> None:
         if not participants:
             raise ValueError(f"scope instance {instance} has no tasks")
@@ -60,7 +62,10 @@ class ScopeSyncState:
         self.size = len(participants)
         self._abort = abort_flag
         self._timeout = timeout
-        self._cond = threading.Condition()
+        # Condition + clock injected by the execution backend (a
+        # CoopWaker and the virtual clock under backend="coop")
+        self._cond = condition if condition is not None else threading.Condition()
+        self._clock = clock if clock is not None else time.monotonic
         self._count = 0
         self._generation = 0
         self._arrivals = 0           # monotone; deadline-extension progress
@@ -112,13 +117,13 @@ class ScopeSyncState:
         # notified-but-unreleased waits can postpone deadlock detection
         # (the old countdown only shrank on timed-out waits, so a
         # steady notify stream starved the timeout forever).
-        deadline = time.monotonic() + self._timeout
+        deadline = self._clock() + self._timeout
         seen = self._arrivals
         while self._generation == gen:
             if self._abort.is_set():
                 note_abort(self._abort)
                 raise AbortError("job aborted during hls synchronization")
-            now = time.monotonic()
+            now = self._clock()
             if self._arrivals != seen:
                 seen = self._arrivals
                 deadline = now + self._timeout
@@ -240,6 +245,8 @@ class HLSSync:
                     instance, participants, self.runtime.abort_flag,
                     timeout=self.runtime.timeout, groups=groups,
                     faults=getattr(self.runtime, "faults", None),
+                    condition=self.runtime.condition(),
+                    clock=self.runtime.now,
                 )
                 self._states[instance] = st
             return st

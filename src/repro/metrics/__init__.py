@@ -5,6 +5,7 @@ from repro.metrics.collectives import CollectiveMetrics
 from repro.metrics.faults import FaultMetrics
 from repro.metrics.p2p import P2PMetrics
 from repro.metrics.rma import RMAMetrics
+from repro.metrics.sched import SchedMetrics
 from repro.metrics.perf import parallel_efficiency, relative_performance
 from repro.metrics.report import Table, format_mb
 from repro.metrics.ascii_plot import line_chart
@@ -17,6 +18,7 @@ __all__ = [
     "FaultMetrics",
     "P2PMetrics",
     "RMAMetrics",
+    "SchedMetrics",
     "parallel_efficiency",
     "relative_performance",
     "Table",

@@ -28,6 +28,7 @@ from repro.runtime.errors import (
     MPIError,
     PayloadCloneError,
     RMAEpochError,
+    ScheduleReplayError,
     TransientCommError,
 )
 from repro.runtime.message import (
@@ -46,6 +47,18 @@ from repro.runtime.task import TaskContext
 from repro.runtime.runtime import CommStats, Runtime
 from repro.runtime.process_mpi import ProcessRuntime
 from repro.runtime.rma import LOCK_EXCLUSIVE, LOCK_SHARED, Win
+from repro.runtime.sched import (
+    CoopBackend,
+    ExecutionBackend,
+    FifoPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    SchedulePolicy,
+    ScheduleTrace,
+    ThreadsBackend,
+    make_execution_backend,
+    make_policy,
+)
 
 __all__ = [
     "MPIError",
@@ -81,4 +94,15 @@ __all__ = [
     "Win",
     "LOCK_SHARED",
     "LOCK_EXCLUSIVE",
+    "ScheduleReplayError",
+    "ScheduleTrace",
+    "SchedulePolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "ReplayPolicy",
+    "make_policy",
+    "ExecutionBackend",
+    "ThreadsBackend",
+    "CoopBackend",
+    "make_execution_backend",
 ]

@@ -74,6 +74,8 @@ class CollectiveState:
         clone: Callable[[Any], Any] = lambda x: x,
         metrics: Optional[CollectiveMetrics] = None,
         faults: Optional[Any] = None,
+        make_cond: Optional[Callable[[], Any]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if size < 1:
             raise ValueError("communicator size must be >= 1")
@@ -84,7 +86,13 @@ class CollectiveState:
         self.metrics = metrics if metrics is not None else CollectiveMetrics()
         #: fault injector (None = chaos off; one attribute test per op)
         self.faults = faults
-        self._cond = threading.Condition()
+        # Condition factory + clock from the execution backend: real
+        # Condition/monotonic under threads, CoopWaker/virtual clock
+        # under coop (the hierarchical engine builds one condition per
+        # tree node from the same factory).
+        self._make_cond = make_cond if make_cond is not None else threading.Condition
+        self._clock = clock if clock is not None else time.monotonic
+        self._cond = self._make_cond()
         self._count = 0
         self._generation = 0
         self.board: List[Any] = [None] * size
@@ -135,13 +143,13 @@ class CollectiveState:
         # raises, only a genuinely stalled one does.  The deadline is
         # extended only on *arrivals* -- spurious wakeups (which the
         # chaos harness injects) cannot postpone deadlock detection.
-        deadline = time.monotonic() + self._timeout
+        deadline = self._clock() + self._timeout
         seen = self._count
         while self._generation == gen:
             if self._abort.is_set():
                 note_abort(self._abort)
                 raise AbortError("job aborted during barrier")
-            now = time.monotonic()
+            now = self._clock()
             if self._count != seen:
                 seen = self._count
                 deadline = now + self._timeout
@@ -273,11 +281,12 @@ class _TreeNode:
         "board", "down",
     )
 
-    def __init__(self, label: str, arity: int, parent: Optional["_TreeNode"]) -> None:
+    def __init__(self, label: str, arity: int, parent: Optional["_TreeNode"],
+                 cond: Optional[Any] = None) -> None:
         self.label = label
         self.arity = arity
         self.parent = parent
-        self.cond = threading.Condition()
+        self.cond = cond if cond is not None else threading.Condition()
         self.count = 0
         self.generation = 0
         self.board: Dict[int, Any] = {}
@@ -318,10 +327,12 @@ class HierarchicalCollectiveState(CollectiveState):
         group: Optional[Tuple[int, ...]] = None,
         share: Optional[Callable[[int, int], bool]] = None,
         faults: Optional[Any] = None,
+        make_cond: Optional[Callable[[], Any]] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         super().__init__(
             size, abort_flag, timeout=timeout, clone=clone, metrics=metrics,
-            faults=faults,
+            faults=faults, make_cond=make_cond, clock=clock,
         )
         if levels is None:
             levels = [TreeLevel("comm", (tuple(range(size)),))]
@@ -363,7 +374,7 @@ class HierarchicalCollectiveState(CollectiveState):
                 else:
                     # only each child group's winner climbs to this node
                     arity = len({id(below[r]) for r in members})
-                node = _TreeNode(level.label, arity, None)
+                node = _TreeNode(level.label, arity, None, self._make_cond())
                 self.nodes.append(node)
                 for r in members:
                     current[r] = node
@@ -436,7 +447,7 @@ class HierarchicalCollectiveState(CollectiveState):
                 node.cond.notify_all()
 
     def _wait_node(self, node: _TreeNode, gen: int) -> Any:
-        deadline = time.monotonic() + self._timeout
+        deadline = self._clock() + self._timeout
         seen = self._arrivals
         while node.generation == gen:
             if self._abort.is_set():
@@ -444,7 +455,7 @@ class HierarchicalCollectiveState(CollectiveState):
                 raise AbortError(
                     f"job aborted during collective ({node.label} group)"
                 )
-            now = time.monotonic()
+            now = self._clock()
             if self._arrivals != seen:       # progress anywhere in the tree
                 seen = self._arrivals
                 deadline = now + self._timeout

@@ -38,7 +38,14 @@ class Comm:
         self.context = context
         self.group = group            # comm rank -> world rank
         self.rank = rank              # this task's rank in the comm
-        self._world_to_comm: Dict[int, int] = {w: c for c, w in enumerate(group)}
+        # COMM_WORLD (and any identity-group comm) maps comm rank ==
+        # world rank, so skip the reverse dict: per-task world maps
+        # were O(n) each, O(n^2) across the job -- gigabytes at 4k+
+        # tasks before the coop backend made such runs reachable.
+        self._identity = all(w == c for c, w in enumerate(group))
+        self._world_to_comm: Optional[Dict[int, int]] = (
+            None if self._identity else {w: c for c, w in enumerate(group)}
+        )
         self._coll = runtime.collective_state(context, group)
         self._epoch = 0               # per-task count of collectives on this comm
 
@@ -59,6 +66,10 @@ class Comm:
         return self.group[comm_rank]
 
     def to_comm(self, world_rank: int) -> int:
+        if self._world_to_comm is None:
+            if not 0 <= world_rank < len(self.group):
+                raise KeyError(world_rank)
+            return world_rank
         return self._world_to_comm[world_rank]
 
     # ------------------------------------------------------------------- p2p
@@ -115,7 +126,10 @@ class Comm:
             st = Status()
             return self._deliver(env, buf, st, own), st
 
-        return Request(kind="recv", try_complete=_try, block_complete=_block)
+        return Request(
+            kind="recv", try_complete=_try, block_complete=_block,
+            sleep=self.runtime.task_sleep,
+        )
 
     def sendrecv(
         self,

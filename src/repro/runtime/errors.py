@@ -48,6 +48,13 @@ class TransientCommError(MPIError):
     with bounded exponential backoff before giving up."""
 
 
+class ScheduleReplayError(MPIError):
+    """A schedule replay diverged from its recorded trace: the trace
+    chose a task that is not runnable at that decision point, or ran
+    out of decisions.  The workload, fault plan, or runtime options
+    differ from the recording (:mod:`repro.runtime.sched`)."""
+
+
 __all__ = [
     "MPIError",
     "AbortError",
@@ -58,4 +65,5 @@ __all__ = [
     "PayloadCloneError",
     "RMAEpochError",
     "TransientCommError",
+    "ScheduleReplayError",
 ]

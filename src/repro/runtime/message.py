@@ -214,13 +214,19 @@ class Mailbox:
     """Pending-message store for one task, with blocking matched receive."""
 
     def __init__(self, owner: int, abort_flag: threading.Event,
-                 *, timeout: float = 30.0, matcher: str = "indexed") -> None:
+                 *, timeout: float = 30.0, matcher: str = "indexed",
+                 condition: Optional[Any] = None,
+                 clock: Optional[Any] = None) -> None:
         self.owner = owner
         try:
             self.matcher = _MATCHERS[matcher]()
         except KeyError:
             raise ValueError(f"unknown mailbox matcher {matcher!r}") from None
-        self._cond = threading.Condition()
+        # The execution backend injects how a receiver parks and tells
+        # time: a real Condition + time.monotonic (threads), or a
+        # scheduler-parking CoopWaker + the virtual clock (coop).
+        self._cond = condition if condition is not None else threading.Condition()
+        self._clock = clock if clock is not None else time.monotonic
         self._abort = abort_flag
         self._timeout = timeout
         self.posted = 0
@@ -249,7 +255,7 @@ class Mailbox:
                 # (plus anything whose hold expired).
                 self._release_held(src=env.src)
             if hold is not None:
-                self._held.append([time.monotonic() + hold, env])
+                self._held.append([self._clock() + hold, env])
                 return
             self.matcher.add(env)
             # Targeted wake: only the mailbox owner ever blocks on this
@@ -263,7 +269,7 @@ class Mailbox:
         """Move held envelopes into the matcher -- same-sender entries
         (``src``), expired entries (always), or ``everything`` --
         preserving arrival order.  Caller holds the condition."""
-        now = time.monotonic()
+        now = self._clock()
         kept: List[List[Any]] = []
         released = False
         for entry in self._held:
@@ -298,7 +304,7 @@ class Mailbox:
         if self.faults is not None:
             # slow receiver / crash-mid-receive injection site
             self.faults.hit("p2p.recv", self.owner)
-        deadline = time.monotonic() + self._timeout
+        deadline = self._clock() + self._timeout
         with self._cond:
             while True:
                 if self._abort.is_set():
@@ -307,7 +313,7 @@ class Mailbox:
                 env = self._take(source, tag, context)
                 if env is not None:
                     return env
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self._clock()
                 if remaining <= 0:
                     raise DeadlockError(
                         f"task {self.owner}: recv(source={source}, tag={tag}) "
@@ -321,7 +327,7 @@ class Mailbox:
                     # mailbox while we slept) extends the deadline; mere
                     # arrivals of non-matching traffic do not, so a
                     # receive nobody answers still times out on schedule.
-                    deadline = time.monotonic() + self._timeout
+                    deadline = self._clock() + self._timeout
 
     def try_receive(self, source: int, tag: int, context: int) -> Optional[Envelope]:
         """Non-blocking matched receive (None if nothing matches)."""
@@ -343,7 +349,7 @@ class Mailbox:
 
     def probe_blocking(self, source: int, tag: int, context: int) -> Status:
         """Block until a matching message is pending; do not consume it."""
-        deadline = time.monotonic() + self._timeout
+        deadline = self._clock() + self._timeout
         with self._cond:
             while True:
                 if self._abort.is_set():
@@ -354,7 +360,7 @@ class Mailbox:
                 env = self.matcher.peek(source, tag, context)
                 if env is not None:
                     return Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self._clock()
                 if remaining <= 0:
                     raise DeadlockError(
                         f"task {self.owner}: probe(source={source}, tag={tag}) "

@@ -22,10 +22,16 @@ class Request:
         kind: str,
         try_complete: Callable[[], Optional[Tuple[Any, Status]]],
         block_complete: Callable[[], Tuple[Any, Status]],
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.kind = kind
         self._try = try_complete
         self._block = block_complete
+        # how waitany backs off between polling sweeps: a real sleep
+        # under the threads backend, a scheduler yield under coop --
+        # the coop runner must park, or the poll loop would starve
+        # every other task (there is only one runner)
+        self._sleep = sleep
         self._done = False
         self._result: Any = None
         self._status: Optional[Status] = None
@@ -80,6 +86,9 @@ class Request:
         event-driven in the mailbox and need no such loop)."""
         if not requests:
             raise ValueError("waitany needs at least one request")
+        sleep = next(
+            (r._sleep for r in requests if r._sleep is not None), time.sleep
+        )
         sweeps = 0
         while True:
             for i, r in enumerate(requests):
@@ -87,7 +96,7 @@ class Request:
                     return i, r.wait()
             sweeps += 1
             if sweeps > 1:
-                time.sleep(min(0.0001 * sweeps, 0.002))
+                sleep(min(0.0001 * sweeps, 0.002))
 
     @staticmethod
     def completed(result: Any = None, status: Optional[Status] = None) -> "Request":

@@ -134,7 +134,11 @@ class _WinShared:
         self.offsets: Dict[int, int] = {}
         self.sizes: Dict[int, int] = {}
         self.freed = False
-        self.cond = threading.Condition()
+        # Epoch waiters park on a backend-supplied condition (a
+        # CoopWaker under backend="coop"); the data/stats locks are
+        # never held across a park, so they stay plain OS locks.
+        make_cond = getattr(runtime, "condition", None)
+        self.cond = make_cond() if make_cond is not None else threading.Condition()
         self.data_lock = threading.Lock()     # accumulate atomicity
         self.stats_lock = threading.Lock()
         self.counters = _WinCounters()
@@ -162,12 +166,13 @@ class _WinShared:
         the runtime's deadlock watchdog.  Returns True when the call
         actually parked at least once (the ``epoch_waits`` unit)."""
         waited = False
-        deadline = time.monotonic() + self.runtime.timeout
+        clock = getattr(self.runtime, "now", time.monotonic)
+        deadline = clock() + self.runtime.timeout
         while not pred():
             if self.runtime.abort_flag.is_set():
                 note_abort(self.runtime.abort_flag)
                 raise AbortError(f"job aborted during {what}")
-            now = time.monotonic()
+            now = clock()
             if now >= deadline:
                 raise DeadlockError(
                     f"{what} timed out after {self.runtime.timeout}s -- "

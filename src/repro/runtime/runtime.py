@@ -35,6 +35,7 @@ from repro.runtime.communicator import Comm
 from repro.runtime.errors import AbortError, MPIError, TransientCommError
 from repro.runtime.message import Envelope, Mailbox
 from repro.runtime.payload import clone, payload_nbytes
+from repro.runtime.sched import make_execution_backend
 from repro.runtime.task import TaskContext
 
 
@@ -118,6 +119,8 @@ class Runtime:
         sharing: str = "private",
         matcher: str = "indexed",
         faults: Optional[Any] = None,
+        backend: str = "threads",
+        schedule: Optional[Any] = None,
     ) -> None:
         if algorithm is not None:
             if algorithm not in ("flat", "hierarchical"):
@@ -155,6 +158,16 @@ class Runtime:
         # so one set() wakes tasks parked anywhere (mailboxes, collective
         # trees, HLS scopes) -- abort is announced, never discovered.
         self.abort_flag = AbortSignal()
+        # Execution backend: how ranks become running code and how
+        # blocking primitives park ("threads" = one OS thread per task,
+        # "coop" = the cooperative scheduler of repro.runtime.sched).
+        # Built before any blocking primitive so they all draw their
+        # conditions and clock from it.
+        self.execution_backend = backend
+        self._backend = make_execution_backend(
+            backend, self.n_tasks, schedule=schedule,
+            on_drain=self.signal_abort,
+        )
         #: fault injector (None = chaos off; see repro.faults)
         self.faults = None
         self._retry_lock = threading.Lock()
@@ -164,7 +177,10 @@ class Runtime:
         #: (measured by run(); None when the job never aborted)
         self.abort_recovery_s: Optional[float] = None
         self._mailboxes = [
-            Mailbox(r, self.abort_flag, timeout=timeout, matcher=matcher)
+            Mailbox(
+                r, self.abort_flag, timeout=timeout, matcher=matcher,
+                condition=self._backend.condition(), clock=self._backend.now,
+            )
             for r in range(self.n_tasks)
         ]
         # Per-sender sequence cells: rank r's cell is only ever touched
@@ -172,6 +188,10 @@ class Runtime:
         self._seq: List[Dict[int, int]] = [dict() for _ in range(self.n_tasks)]
         self._contexts = 0
         self._ctx_lock = threading.Lock()
+        # One shared world-group tuple: every task's COMM_WORLD handle
+        # references this object instead of materialising its own
+        # n_tasks-element tuple (O(n^2) memory across the job at 4k+).
+        self._world_group = tuple(range(self.n_tasks))
         self._coll_states: Dict[int, CollectiveState] = {}
         self._coll_lock = threading.Lock()
         self._world_context = self.alloc_context()
@@ -200,6 +220,42 @@ class Runtime:
         self.contexts: List[Optional[TaskContext]] = [None] * self.n_tasks
         if faults is not None:
             self.install_faults(faults)
+
+    # --------------------------------------------------------- execution
+    def condition(self):
+        """A condition variable drawn from the execution backend: a
+        real ``threading.Condition`` (threads) or a scheduler-parking
+        :class:`~repro.runtime.sched.waker.CoopWaker` (coop).  Every
+        blocking primitive of this runtime parks on one of these."""
+        return self._backend.condition()
+
+    def now(self) -> float:
+        """The clock blocking primitives compute deadlines against:
+        ``time.monotonic`` (threads) or the scheduler's virtual clock
+        (coop -- advances only when every task is parked)."""
+        return self._backend.now()
+
+    def task_sleep(self, seconds: float) -> None:
+        """Task-level sleep (fault delays, backoff loops): real sleep
+        under threads, a virtual-clock park under coop -- so injected
+        delays perturb the schedule deterministically, not the wall
+        clock."""
+        self._backend.sleep(seconds)
+
+    def sched_metrics(self):
+        """Snapshot of the scheduler counters (context switches, parks,
+        wake sources, run-queue depth; zeros under the threads backend
+        where the OS owns the interleaving)."""
+        from repro.metrics.sched import SchedMetrics
+
+        return SchedMetrics.from_runtime(self)
+
+    def schedule_trace(self):
+        """The canonical schedule trace recorded by the last coop run
+        (None under the threads backend).  Feed it back via
+        ``Runtime(backend="coop", schedule=trace)`` for a bit-for-bit
+        replay."""
+        return self._backend.schedule_trace()
 
     # ------------------------------------------------------------- chaos
     def install_faults(self, plan: Any) -> Any:
@@ -354,12 +410,16 @@ class Runtime:
                         levels=levels, group=tuple(group),
                         share=self._collective_share_check(),
                         faults=self.faults,
+                        make_cond=self._backend.condition,
+                        clock=self._backend.now,
                     )
                 else:
                     st = CollectiveState(
                         size, self.abort_flag, timeout=self.timeout,
                         clone=clone, metrics=self.collective_metrics,
                         faults=self.faults,
+                        make_cond=self._backend.condition,
+                        clock=self._backend.now,
                     )
                 self._coll_states[context] = st
             elif st.size != size:
@@ -369,7 +429,7 @@ class Runtime:
             return st
 
     def make_world_comm(self, rank: int) -> Comm:
-        return Comm(self, self._world_context, tuple(range(self.n_tasks)), rank)
+        return Comm(self, self._world_context, self._world_group, rank)
 
     # ----------------------------------------------------------------- p2p
     def mailbox(self, world_rank: int) -> Mailbox:
@@ -432,7 +492,7 @@ class Runtime:
                     raise
                 with self._retry_lock:
                     self.comm_alloc_retries += 1
-                time.sleep(self.ALLOC_BACKOFF * (2 ** attempt))
+                self.task_sleep(self.ALLOC_BACKOFF * (2 ** attempt))
                 attempt += 1
 
     def post_message(
@@ -440,6 +500,11 @@ class Runtime:
     ) -> None:
         if not 0 <= dst < self.n_tasks:
             raise MPIError(f"send to unknown rank {dst}")
+        # Preemption point: under a preemptive schedule policy the coop
+        # scheduler may run someone else before this send lands -- the
+        # interleaving-exploration analog of a chaos delay (no-op under
+        # threads and non-preemptive policies).
+        self._backend.checkpoint()
         hold: Optional[float] = None
         f = self.faults
         if f is not None:
@@ -531,18 +596,23 @@ class Runtime:
                     errors.append((rank, exc))
                 self.signal_abort()
 
-        threads = [
-            threading.Thread(target=worker, args=(r,), name=f"mpi-task-{r}")
-            for r in range(self.n_tasks)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        # The execution backend owns spawning and joining: one OS
+        # thread per task (threads) or the cooperative scheduler (coop).
+        # A scheduler-level error (schedule replay divergence) aborts
+        # and drains the job first, then surfaces here.
+        sched_exc: Optional[BaseException] = None
+        try:
+            self._backend.launch(worker, self.n_tasks)
+        except MPIError as exc:
+            sched_exc = exc
         if self.abort_flag.set_at is not None:
             # chaos accounting: how long between the abort being raised
             # and the last surviving task terminating
             self.abort_recovery_s = time.monotonic() - self.abort_flag.set_at
+        if sched_exc is not None:
+            # the scheduler error caused the abort; the per-task
+            # AbortErrors in ``errors`` are its propagation
+            raise sched_exc
         if errors:
             errors.sort(key=lambda e: e[0])
             rank, exc = errors[0]

@@ -1,0 +1,46 @@
+"""Cooperative user-level task scheduling with deterministic schedule
+exploration -- see DESIGN.md §13.
+
+Public surface:
+
+* :func:`make_execution_backend` / :class:`ExecutionBackend` --
+  ``Runtime(backend="threads"|"coop")`` plumbing.
+* :class:`SchedulePolicy` and friends -- ``fifo`` / ``random:SEED`` /
+  replay-from-trace scheduling, plus the canonical
+  :class:`ScheduleTrace` record any failing schedule replays from.
+* :class:`CoopWaker` -- the condition-variable facade every blocking
+  primitive parks on under the coop backend.
+"""
+
+from repro.runtime.sched.backend import (
+    CoopBackend,
+    ExecutionBackend,
+    ThreadsBackend,
+    make_execution_backend,
+)
+from repro.runtime.sched.coop import CoopScheduler, CoopTask
+from repro.runtime.sched.policy import (
+    FifoPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    SchedulePolicy,
+    ScheduleTrace,
+    make_policy,
+)
+from repro.runtime.sched.waker import CoopWaker
+
+__all__ = [
+    "CoopBackend",
+    "CoopScheduler",
+    "CoopTask",
+    "CoopWaker",
+    "ExecutionBackend",
+    "FifoPolicy",
+    "RandomPolicy",
+    "ReplayPolicy",
+    "SchedulePolicy",
+    "ScheduleTrace",
+    "ThreadsBackend",
+    "make_execution_backend",
+    "make_policy",
+]

@@ -1,0 +1,388 @@
+"""The cooperative scheduler: carrier threads, one runner token.
+
+CPython has no portable first-class coroutine stack switch usable under
+arbitrary blocking call graphs (greenlet is an extension, generators
+cannot yield through a deep call stack), so each task keeps an OS
+thread -- but only as a *stack container*.  Exactly one carrier runs at
+any moment: the scheduler (which runs on the ``Runtime.run`` caller's
+thread) hands the runner token to a task by setting its private
+``resume`` event, then blocks on the shared ``handoff`` event until the
+task yields it back by parking, preempting at a checkpoint, or
+finishing.  Carriers use a small stack (``STACK_BYTES``), so thousands
+of tasks are cheap: the per-task cost is one parked pthread, not a
+runnable one fighting for the GIL.
+
+Determinism comes from two properties:
+
+* every scheduling decision is an explicit :meth:`SchedulePolicy.pick`
+  over the runnable queue (wake order), recorded into a
+  :class:`~repro.runtime.sched.policy.ScheduleTrace`;
+* time is *virtual*: ``now()`` returns the scheduler's clock, which
+  only advances when the run queue is empty, jumping straight to the
+  earliest parked deadline.  Timeouts, fault-injected delays and held
+  envelopes therefore resolve in a schedule-determined order with no
+  wall-clock input.
+
+Abort and error handling reuse the PR 3 subscriber shape: primitives
+subscribe their waker to the :class:`~repro.runtime.abort.AbortSignal`,
+so one ``set()`` makes every parked task runnable; the scheduler then
+simply keeps scheduling (fifo, unrecorded) until everyone has
+terminated.  A scheduler-level error (replay divergence) triggers the
+same drain before propagating.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import deque
+from typing import Callable, List, Optional
+
+from repro.runtime.errors import DeadlockError, MPIError
+from repro.runtime.sched.policy import SchedulePolicy, ScheduleTrace
+from repro.runtime.sched.waker import CoopWaker
+
+#: carrier stack size -- tasks only need room for the workload's Python
+#: frames, and small stacks are what make 4k+ carriers affordable
+STACK_BYTES = 512 * 1024
+
+#: real seconds the idle scheduler waits for an external wake before
+#: declaring a stall.  Virtually unreachable in normal operation: every
+#: blocking primitive parks with a (virtual) timeout tick, so an idle
+#: scheduler almost always has a timer to jump to.
+STALL_LIMIT_S = 1.0
+
+# task states
+NEW, RUNNABLE, RUNNING, PARKED, DONE = range(5)
+
+
+class CoopTask:
+    """Per-task scheduler bookkeeping (one carrier thread each)."""
+
+    __slots__ = (
+        "rank", "thread", "resume", "state", "woke_by_notify",
+        "deadline", "waker", "inject", "park_seq",
+    )
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.thread: Optional[threading.Thread] = None
+        #: runner-token handoff: the scheduler sets it to run the task
+        self.resume = threading.Event()
+        self.state = NEW
+        #: did the last park end by notify (True) or timeout (False)?
+        self.woke_by_notify = False
+        #: virtual-clock deadline of the current park (None = no timer)
+        self.deadline: Optional[float] = None
+        #: the CoopWaker the task is parked on (None for sleeps)
+        self.waker: Optional[CoopWaker] = None
+        #: exception to raise inside the task at its next resume
+        self.inject: Optional[BaseException] = None
+        #: monotone park counter -- the timer heap tiebreaker, which
+        #: makes equal-deadline wake order deterministic
+        self.park_seq = 0
+
+
+class CoopScheduler:
+    """Single-runner cooperative scheduler over carrier threads."""
+
+    def __init__(self, n_tasks: int, policy: SchedulePolicy,
+                 on_drain: Optional[Callable[[], None]] = None) -> None:
+        self.n_tasks = n_tasks
+        self.policy = policy
+        #: called once when the scheduler starts draining after an
+        #: internal error (the runtime hooks its abort broadcast here)
+        self.on_drain = on_drain
+        self.trace = ScheduleTrace(
+            policy=policy.name, seed=policy.seed,
+            preemptive=policy.preemptive, n_tasks=n_tasks,
+        )
+        self.tasks: List[CoopTask] = []
+        self._runq: deque = deque()
+        self._timers: list = []      # heap of (deadline, park_seq, task)
+        self._qlock = threading.Lock()
+        #: runner -> scheduler yield (park / checkpoint / task done)
+        self._handoff = threading.Event()
+        #: external wake signal for the idle scheduler (posts/aborts
+        #: arriving from non-coop threads)
+        self._extern = threading.Event()
+        self._tls = threading.local()
+        self._alive = 0
+        self._park_counter = 0
+        self._recording = False
+        #: virtual clock (seconds); advances only while the queue is empty
+        self.vtime = 0.0
+        # metrics
+        self.context_switches = 0
+        self.decisions = 0
+        self.parks = 0
+        self.notify_wakes = 0
+        self.timer_wakes = 0
+        self.preemptions = 0
+        self.max_runq_depth = 0
+        self.stall_recoveries = 0
+
+    # ----------------------------------------------------------- introspection
+    def current(self) -> Optional[CoopTask]:
+        """The task executing on the calling thread (None off-task)."""
+        return getattr(self._tls, "task", None)
+
+    def now(self) -> float:
+        return self.vtime
+
+    # ----------------------------------------------------------------- launch
+    def launch(self, worker: Callable[[int], None]) -> None:
+        """Run ``worker(rank)`` for every rank under the policy; blocks
+        until every task terminated.  Raises the scheduler's own error
+        (replay divergence) after draining, if one occurred."""
+        self.policy.reset()
+        self.trace = ScheduleTrace(
+            policy=self.policy.name, seed=self.policy.seed,
+            preemptive=self.policy.preemptive, n_tasks=self.n_tasks,
+        )
+        self.tasks = [CoopTask(r) for r in range(self.n_tasks)]
+        self._runq = deque()
+        self._timers = []
+        self._extern.clear()
+        self._handoff.clear()
+        self._alive = self.n_tasks
+        self._park_counter = 0
+        self._recording = True
+        self.vtime = 0.0
+        for t in self.tasks:
+            t.state = RUNNABLE
+            self._runq.append(t)
+        self.max_runq_depth = max(self.max_runq_depth, len(self._runq))
+        self._spawn_carriers(worker)
+        error: Optional[MPIError] = None
+        try:
+            error = self._loop()
+        finally:
+            self._recording = False
+            for t in self.tasks:
+                if t.thread is not None:
+                    t.thread.join()
+        if error is not None:
+            raise error
+
+    def _spawn_carriers(self, worker: Callable[[int], None]) -> None:
+        try:
+            old_stack = threading.stack_size(STACK_BYTES)
+        except (ValueError, RuntimeError):  # pragma: no cover - platform
+            old_stack = None
+        try:
+            for t in self.tasks:
+                t.thread = threading.Thread(
+                    target=self._carrier, args=(t, worker),
+                    name=f"coop-task-{t.rank}", daemon=True,
+                )
+                t.thread.start()
+        finally:
+            if old_stack is not None:
+                try:
+                    threading.stack_size(old_stack)
+                except (ValueError, RuntimeError):  # pragma: no cover
+                    pass
+
+    def _carrier(self, task: CoopTask, worker: Callable[[int], None]) -> None:
+        """Carrier thread body: wait for the runner token, run the
+        task to completion, yield the token one last time."""
+        task.resume.wait()
+        task.resume.clear()
+        self._tls.task = task
+        try:
+            worker(task.rank)
+        finally:
+            with self._qlock:
+                task.state = DONE
+                self._alive -= 1
+            self._handoff.set()
+
+    # ------------------------------------------------------------- main loop
+    def _loop(self) -> Optional[MPIError]:
+        error: Optional[MPIError] = None
+        while True:
+            with self._qlock:
+                if self._alive == 0:
+                    return error
+                runnable = tuple(t.rank for t in self._runq)
+            if not runnable:
+                self._idle()
+                continue
+            if self._recording:
+                try:
+                    rank = self.policy.pick(runnable)
+                    self.trace.events.append(rank)
+                    self.decisions += 1
+                except MPIError as exc:
+                    # scheduler-level failure (replay divergence):
+                    # stop recording, abort the job, drain fifo
+                    error = exc
+                    self._recording = False
+                    if self.on_drain is not None:
+                        self.on_drain()
+                    continue
+            else:
+                rank = runnable[0]
+            self._dispatch(self.tasks[rank])
+
+    def _dispatch(self, task: CoopTask) -> None:
+        with self._qlock:
+            if self._runq and self._runq[0] is task:
+                self._runq.popleft()
+            else:
+                self._runq.remove(task)
+            task.state = RUNNING
+            self.context_switches += 1
+        self._handoff.clear()
+        task.resume.set()
+        self._handoff.wait()
+
+    def _idle(self) -> None:
+        """Empty run queue: advance the virtual clock to the earliest
+        parked deadline, or wait (bounded, real time) for an external
+        wake when no timer exists."""
+        if self._extern.is_set():
+            self._extern.clear()
+            return      # external notify already refilled the queue
+        with self._qlock:
+            if self._runq:
+                return
+            next_dl = self._next_deadline_locked()
+            if next_dl is not None:
+                self.vtime = max(self.vtime, next_dl)
+                self._fire_timers_locked()
+                return
+        # no timers at all: only an external thread can make progress
+        if self._extern.wait(timeout=STALL_LIMIT_S):
+            self._extern.clear()
+            return
+        self._stall()
+
+    def _next_deadline_locked(self) -> Optional[float]:
+        while self._timers:
+            deadline, _, task = self._timers[0]
+            if task.state != PARKED or task.deadline != deadline:
+                heapq.heappop(self._timers)   # stale entry
+                continue
+            return deadline
+        return None
+
+    def _fire_timers_locked(self) -> None:
+        while self._timers and self._timers[0][0] <= self.vtime:
+            deadline, _, task = heapq.heappop(self._timers)
+            if task.state != PARKED or task.deadline != deadline:
+                continue
+            self.timer_wakes += 1
+            self._make_runnable_locked(task, by_notify=False)
+
+    def _stall(self) -> None:
+        """Every task parked, no timer, no external wake: the job can
+        never progress on its own.  Turn the hang into a clean error."""
+        self.stall_recoveries += 1
+        with self._qlock:
+            for task in self.tasks:
+                if task.state == PARKED:
+                    task.inject = DeadlockError(
+                        f"task {task.rank}: scheduler stall -- every task "
+                        f"is parked with no timer and no external wake"
+                    )
+                    self._make_runnable_locked(task, by_notify=False)
+
+    # ------------------------------------------------------------ park / wake
+    def prepare_park(self, task: CoopTask, waker: Optional[CoopWaker],
+                     timeout: Optional[float]) -> None:
+        """Stage 1 of a park, called with the waker lock still held so
+        a racing notify can never miss the task."""
+        with self._qlock:
+            task.state = PARKED
+            task.woke_by_notify = False
+            task.waker = waker
+            self._park_counter += 1
+            task.park_seq = self._park_counter
+            self.parks += 1
+            if timeout is not None:
+                task.deadline = self.vtime + max(timeout, 0.0)
+                heapq.heappush(
+                    self._timers, (task.deadline, task.park_seq, task)
+                )
+            else:
+                task.deadline = None
+            if waker is not None:
+                waker.parked.append(task)
+
+    def finish_park(self, task: CoopTask) -> bool:
+        """Stage 2: yield the runner token, block the carrier until the
+        scheduler dispatches this task again."""
+        self._handoff.set()
+        task.resume.wait()
+        task.resume.clear()
+        if task.inject is not None:
+            exc = task.inject
+            task.inject = None
+            raise exc
+        return task.woke_by_notify
+
+    def notify(self, waker: CoopWaker, n: Optional[int]) -> None:
+        """Move up to ``n`` tasks (all when None) parked on ``waker``
+        into the run queue.  Callable from any thread."""
+        woken = 0
+        with self._qlock:
+            while waker.parked and (n is None or woken < n):
+                task = waker.parked.popleft()
+                if task.state != PARKED or task.waker is not waker:
+                    continue   # stale entry (timer or abort won the race)
+                self.notify_wakes += 1
+                self._make_runnable_locked(task, by_notify=True)
+                woken += 1
+        if woken and self.current() is None:
+            # wake from outside the cooperative world: kick the idle loop
+            self._extern.set()
+
+    def _make_runnable_locked(self, task: CoopTask, *, by_notify: bool) -> None:
+        task.state = RUNNABLE
+        task.woke_by_notify = by_notify
+        task.waker = None
+        task.deadline = None
+        self._runq.append(task)
+        if len(self._runq) > self.max_runq_depth:
+            self.max_runq_depth = len(self._runq)
+
+    # -------------------------------------------------- checkpoint and sleep
+    def checkpoint(self) -> None:
+        """Optional preemption point (message sends call this): under a
+        preemptive policy the running task rejoins the run queue and the
+        policy picks again -- possibly someone else."""
+        if not self.policy.preemptive or not self._recording:
+            return
+        task = self.current()
+        if task is None:
+            return
+        with self._qlock:
+            task.state = RUNNABLE
+            self._runq.append(task)
+            self.preemptions += 1
+            if len(self._runq) > self.max_runq_depth:
+                self.max_runq_depth = len(self._runq)
+        self._handoff.set()
+        task.resume.wait()
+        task.resume.clear()
+        if task.inject is not None:
+            exc = task.inject
+            task.inject = None
+            raise exc
+
+    def sleep(self, seconds: float) -> None:
+        """Virtual-clock sleep: park with a timer and no waker.  Fault
+        delays and backoff loops route here, so they perturb the
+        *schedule*, not the wall clock."""
+        task = self.current()
+        if task is None:
+            time.sleep(seconds)
+            return
+        self.prepare_park(task, None, seconds)
+        self.finish_park(task)
+
+
+__all__ = ["CoopScheduler", "CoopTask", "STACK_BYTES"]

@@ -50,6 +50,13 @@ class TaskContext:
     def numa(self) -> int:
         return self.runtime.machine.pus[self.pu].numa
 
+    # ------------------------------------------------------------------ time
+    def sleep(self, seconds: float) -> None:
+        """Task-level sleep: real under the threads backend, a
+        virtual-clock park under ``backend="coop"`` (the scheduler runs
+        someone else and only advances time when everyone is parked)."""
+        self.runtime.task_sleep(seconds)
+
     # ---------------------------------------------------------------- memory
     def alloc(self, nbytes: int, *, label: str = "", kind: str = "app") -> Allocation:
         """Allocate in this task's simulated address space (the node's

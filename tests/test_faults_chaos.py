@@ -24,7 +24,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.faults import FaultPlan, FaultSpec
+from repro.faults import ChaosArtifact, FaultPlan, FaultSpec
 from repro.hls import HLSProgram
 from repro.machine import core2_cluster
 from repro.runtime import (
@@ -300,6 +300,103 @@ def test_replay_from_dumped_artifact(tmp_path):
     with pytest.raises(InjectedCrash):
         run_workload("p2p", rt)
     assert rt.faults.sorted_log() == [("p2p.post", 1, 3, "crash")]
+
+
+# ------------------------------------------------- chaos x coop schedules
+# Fault plans and schedule policies are orthogonal perturbation axes;
+# composed, a failure is captured as ONE artifact -- (plan, trace) --
+# and replayed from it bit-for-bit.  Under the coop backend injected
+# delays park on the virtual clock, so the whole battery runs at
+# scheduler speed, not wall-clock speed.
+
+def check_clean_artifact(name, rt, plan, outcome_ok):
+    """Assert the run ended cleanly; dump the full (plan, schedule)
+    artifact if not (the coop-era superset of ``check_clean``)."""
+    if outcome_ok:
+        return
+    path = f"chaos_artifact_seed{plan.seed}.json"
+    ChaosArtifact.from_runtime(rt, plan, workload=name).dump(path)
+    pytest.fail(
+        f"chaos run ({name}, seed {plan.seed}) ended badly -- "
+        f"artifact saved to {path}"
+    )
+
+
+@pytest.mark.parametrize("workload", ["p2p", "coll", "hls", "rma"])
+@pytest.mark.parametrize("seed", range(min(N_SEEDS, 10)))
+def test_chaos_under_random_coop_schedules_terminates(workload, seed):
+    """The chaos sweep, rerun with the schedule itself randomised: the
+    plan seed perturbs the faults, the same seed perturbs the
+    interleaving, and the liveness contract is unchanged."""
+    plan = FaultPlan.random(
+        seed, N_TASKS,
+        n_faults=6,
+        sites=WORKLOAD_SITES[workload],
+        max_nth=8,
+        max_delay=0.005,
+    )
+    rt = make_runtime(plan, backend="coop", schedule=f"random:{seed}")
+    try:
+        run_workload(workload, rt)
+        ok = True
+    except MPIError:
+        ok = True
+    except Exception:
+        ok = False
+    check_clean_artifact(workload, rt, plan, ok)
+    if rt.abort_recovery_s is not None:
+        assert rt.abort_recovery_s < TIMEOUT
+
+
+@pytest.mark.parametrize("workload", ["p2p", "coll", "hls", "rma"])
+def test_chaos_with_schedule_replays_as_one_artifact(workload, tmp_path):
+    """Record a fault-perturbed coop run, capture (plan, trace) in one
+    ChaosArtifact, replay from the artifact alone: identical injection
+    log, identical schedule, identical result."""
+    plan = FaultPlan.random(
+        4321, N_TASKS,
+        n_faults=8,
+        sites=WORKLOAD_SITES[workload],
+        max_nth=6,
+        max_delay=0.002,
+        crash_rate=0.0,
+    )
+    rt1 = make_runtime(plan, backend="coop", schedule="random:77")
+    result1 = run_workload(workload, rt1)
+    path = tmp_path / "chaos_artifact.json"
+    ChaosArtifact.from_runtime(rt1, workload=workload).dump(path)
+
+    art = ChaosArtifact.load(path)
+    assert art.backend == "coop" and art.n_tasks == N_TASKS
+    assert art.meta["workload"] == workload
+    rt2 = make_runtime(art.plan, backend="coop",
+                       schedule=art.replay_schedule())
+    result2 = run_workload(workload, rt2)
+    assert rt2.faults.sorted_log() == rt1.faults.sorted_log()
+    assert rt2.schedule_trace().events == rt1.schedule_trace().events
+    assert canonical(workload, result2) == canonical(workload, result1)
+
+
+def test_chaos_crash_artifact_replays_the_crash(tmp_path):
+    """A *failing* chaos run replays to the identical failure from its
+    artifact -- the acceptance-criterion loop."""
+    plan = FaultPlan.single("p2p.post", "crash", task=2, nth=2)
+    rt1 = make_runtime(plan, backend="coop", schedule="random:13")
+    with pytest.raises(InjectedCrash):
+        run_workload("p2p", rt1)
+    path = tmp_path / "chaos_artifact.json"
+    ChaosArtifact.from_runtime(rt1, workload="p2p").dump(path)
+
+    art = ChaosArtifact.load(path)
+    rt2 = make_runtime(art.plan, backend="coop",
+                       schedule=art.replay_schedule())
+    with pytest.raises(InjectedCrash):
+        run_workload("p2p", rt2)
+    assert rt2.faults.sorted_log() == rt1.faults.sorted_log()
+    # the replay schedule follows the recording up to the abort point
+    # (post-abort draining is unrecorded on both sides)
+    n = len(rt2.schedule_trace().events)
+    assert rt1.schedule_trace().events[:n] == rt2.schedule_trace().events
 
 
 # ----------------------------------------------------- hypothesis property

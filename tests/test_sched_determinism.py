@@ -1,0 +1,256 @@
+"""Determinism contract of the cooperative scheduler.
+
+Three guarantees, each tested over real workloads (p2p ring + wildcard
+receives, hierarchical collectives, HLS directives, fault-perturbed
+runs):
+
+1. **Same seed, same everything** -- two runs with the same
+   ``schedule="random:N"`` produce byte-identical schedule traces and
+   identical application results.
+2. **Different seeds explore** -- the traces of different seeds differ
+   (that is the point of seeded schedule exploration).
+3. **Replay is bit-for-bit** -- feeding a recorded trace back via
+   ``schedule=trace`` reproduces the identical decision sequence and
+   results, and a divergent replay fails loudly with
+   ``ScheduleReplayError`` rather than silently exploring.
+"""
+
+import pytest
+
+from repro.faults import ChaosArtifact, FaultPlan
+from repro.hls import HLSProgram
+from repro.machine import core2_cluster
+from repro.runtime import (
+    Runtime,
+    ScheduleReplayError,
+    ScheduleTrace,
+    SUM,
+)
+
+N_TASKS = 8
+TIMEOUT = 10.0
+SEEDS = range(6)
+
+
+def coop_runtime(schedule=None, **kw):
+    return Runtime(
+        core2_cluster(1), n_tasks=N_TASKS, timeout=TIMEOUT,
+        backend="coop", schedule=schedule, **kw,
+    )
+
+
+# --------------------------------------------------------------- workloads
+def wl_ring(ctx):
+    """Ring shift + wildcard gather -- wildcard receives are the
+    schedule-sensitive part (arrival order decides matching)."""
+    c = ctx.comm_world
+    right = (ctx.rank + 1) % ctx.size
+    left = (ctx.rank - 1) % ctx.size
+    req = c.irecv(source=left, tag=1)
+    c.send(ctx.rank, right, tag=1)
+    token = req.wait()
+    assert token == left
+    for peer in range(ctx.size):
+        if peer != ctx.rank:
+            c.send((ctx.rank, token), peer, tag=2)
+    got = sorted(c.recv(tag=2) for _ in range(ctx.size - 1))
+    return got
+
+
+def wl_coll(ctx):
+    c = ctx.comm_world
+    t = c.bcast("go" if ctx.rank == 0 else None)
+    assert t == "go"
+    s = c.allreduce(ctx.rank, op=SUM)
+    c.barrier()
+    return (s, tuple(c.allgather(ctx.rank)))
+
+
+def wl_hls(prog):
+    def main(ctx):
+        h = prog.attach(ctx)
+        wins = 0
+        for _ in range(3):
+            if h.single_enter("v", nowait=True):
+                h.get("v")[0] += 1.0
+                wins += 1
+            h.barrier("v")
+            if h.single_enter("v"):
+                h.get("v")[1] += 1.0
+                h.single_done("v")
+        return (wins, float(h.get("v")[0]), float(h.get("v")[1]))
+    return main
+
+
+def run_workload(name, rt):
+    if name == "ring":
+        return rt.run(wl_ring)
+    if name == "coll":
+        return rt.run(wl_coll)
+    if name == "hls":
+        prog = HLSProgram(rt)
+        prog.declare("v", shape=(2,), scope="node")
+        return rt.run(wl_hls(prog))
+    raise AssertionError(name)
+
+
+WORKLOADS = ["ring", "coll", "hls"]
+
+
+# ------------------------------------------------------------ same seed
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_same_seed_same_trace_and_results(workload):
+    runs = []
+    for _ in range(2):
+        rt = coop_runtime(schedule="random:1234")
+        result = run_workload(workload, rt)
+        runs.append((rt.schedule_trace().to_json(), result))
+    assert runs[0][0] == runs[1][0], "traces differ for the same seed"
+    assert runs[0][1] == runs[1][1], "results differ for the same seed"
+
+
+def test_back_to_back_runs_on_one_runtime_are_independent():
+    """reset() between launches: the second run must not continue the
+    first run's random stream."""
+    rt = coop_runtime(schedule="random:7")
+    run_workload("coll", rt)
+    first = rt.schedule_trace().to_json()
+    run_workload("coll", rt)
+    assert rt.schedule_trace().to_json() == first
+
+
+# ------------------------------------------------------- seed exploration
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_different_seeds_explore_different_interleavings(workload):
+    traces = set()
+    for seed in SEEDS:
+        rt = coop_runtime(schedule=f"random:{seed}")
+        run_workload(workload, rt)
+        traces.add(rt.schedule_trace().to_json())
+    # 6 seeds over 8 tasks: requiring >= 4 distinct schedules is safely
+    # below the collision noise floor while still proving exploration
+    assert len(traces) >= 4, f"only {len(traces)} distinct schedules"
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_all_explored_schedules_agree_on_results(workload):
+    """Schedule exploration must not change what the program computes
+    (the linearizability oracle, in miniature)."""
+    results = []
+    for seed in SEEDS:
+        rt = coop_runtime(schedule=f"random:{seed}")
+        results.append(canonical(workload, run_workload(workload, rt)))
+    assert all(r == results[0] for r in results)
+
+
+def canonical(workload, result):
+    """Schedule-invariant view (hls nowait winners are legitimately
+    schedule-dependent; compare the aggregate)."""
+    if workload == "hls":
+        return (
+            sum(w for w, _, _ in result),
+            sorted((a, b) for _, a, b in result),
+        )
+    return result
+
+
+# ---------------------------------------------------------------- replay
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("seed", [0, 3])
+def test_replay_is_bit_for_bit(workload, seed):
+    rt1 = coop_runtime(schedule=f"random:{seed}")
+    result1 = run_workload(workload, rt1)
+    trace1 = rt1.schedule_trace()
+
+    # round-trip through the canonical JSON, as CI artifacts do
+    trace = ScheduleTrace.from_json(trace1.to_json())
+    rt2 = coop_runtime(schedule=trace)
+    result2 = run_workload(workload, rt2)
+    trace2 = rt2.schedule_trace()
+
+    assert trace2.events == trace1.events, "replay made different decisions"
+    assert result2 == result1, "replay computed a different result"
+
+
+def test_replay_of_fifo_trace(tmp_path):
+    """Replay works for any recorded policy, not just random."""
+    rt1 = coop_runtime(schedule="fifo")
+    r1 = run_workload("ring", rt1)
+    path = tmp_path / "trace.json"
+    rt1.schedule_trace().dump(path)
+
+    rt2 = coop_runtime(schedule=ScheduleTrace.load(path))
+    assert run_workload("ring", rt2) == r1
+
+
+def test_divergent_replay_fails_loudly():
+    """A trace recorded against one workload cannot silently drive a
+    different one -- the decision streams disagree and the replay must
+    say so."""
+    rt1 = coop_runtime(schedule="random:5")
+    run_workload("coll", rt1)
+    trace = rt1.schedule_trace()
+
+    rt2 = coop_runtime(schedule=trace)
+    with pytest.raises(ScheduleReplayError):
+        run_workload("ring", rt2)
+
+
+def test_replay_failure_drains_every_task():
+    """After a replay divergence the job must come down cleanly: run()
+    raises, no carrier is left parked (returning at all proves it)."""
+    rt1 = coop_runtime(schedule="random:5")
+    run_workload("coll", rt1)
+    rt2 = coop_runtime(schedule=rt1.schedule_trace())
+    with pytest.raises(ScheduleReplayError):
+        run_workload("ring", rt2)
+    # a second launch on the same runtime still works (clean state)
+    rt3 = coop_runtime(schedule="fifo")
+    assert run_workload("ring", rt3) is not None
+
+
+# --------------------------------------------------- faults x schedules
+def test_fault_plan_composes_with_schedule_policy():
+    """FaultPlan and SchedulePolicy perturb independently: the same
+    (plan, seed) pair reproduces both the injection log and the trace."""
+    plan = FaultPlan.random(
+        99, N_TASKS, n_faults=6,
+        sites=("p2p.post", "p2p.recv"), max_nth=6,
+        max_delay=0.005, crash_rate=0.0,
+    )
+    logs, traces, results = [], [], []
+    for _ in range(2):
+        rt = coop_runtime(schedule="random:21")
+        rt.install_faults(FaultPlan.from_json(plan.to_json()))
+        results.append(run_workload("ring", rt))
+        logs.append(rt.faults.sorted_log())
+        traces.append(rt.schedule_trace().to_json())
+    assert logs[0] == logs[1]
+    assert traces[0] == traces[1]
+    assert results[0] == results[1]
+
+
+def test_chaos_artifact_captures_plan_and_trace(tmp_path):
+    """The (plan, trace) pair round-trips through one artifact file and
+    replays to the identical run."""
+    plan = FaultPlan.random(
+        7, N_TASKS, n_faults=4,
+        sites=("p2p.post",), max_nth=4, max_delay=0.002, crash_rate=0.0,
+    )
+    rt1 = coop_runtime(schedule="random:3")
+    rt1.install_faults(plan)
+    r1 = run_workload("ring", rt1)
+    art = ChaosArtifact.from_runtime(rt1, workload="ring")
+    path = tmp_path / "chaos_artifact.json"
+    art.dump(path)
+
+    loaded = ChaosArtifact.load(path)
+    assert loaded.to_json() == art.to_json()
+    assert loaded.backend == "coop"
+    assert loaded.n_tasks == N_TASKS
+
+    rt2 = coop_runtime(schedule=loaded.replay_schedule())
+    rt2.install_faults(loaded.plan)
+    assert run_workload("ring", rt2) == r1
+    assert rt2.faults.sorted_log() == rt1.faults.sorted_log()
+    assert rt2.schedule_trace().events == rt1.schedule_trace().events

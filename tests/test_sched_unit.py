@@ -1,0 +1,313 @@
+"""Unit tests of the cooperative scheduler building blocks.
+
+Covers the pieces below the ``Runtime(backend="coop")`` surface:
+schedule policies and their factory, the canonical trace format, the
+backend factory's validation, the virtual clock, preemption
+checkpoints, the stall backstop, and the scheduler counter snapshot
+(:class:`~repro.metrics.sched.SchedMetrics`).
+"""
+
+import threading
+
+import pytest
+
+from repro.machine import core2_cluster
+from repro.runtime import (
+    CoopBackend,
+    DeadlockError,
+    FifoPolicy,
+    MPIError,
+    RandomPolicy,
+    ReplayPolicy,
+    Runtime,
+    ScheduleReplayError,
+    ScheduleTrace,
+    ThreadsBackend,
+    make_execution_backend,
+    make_policy,
+)
+from repro.runtime.sched.coop import CoopScheduler
+from repro.runtime.sched.waker import CoopWaker
+
+N_TASKS = 4
+
+
+def coop_runtime(**kw):
+    kw.setdefault("timeout", 10.0)
+    return Runtime(core2_cluster(1), n_tasks=N_TASKS, backend="coop", **kw)
+
+
+# ----------------------------------------------------------------- policies
+class TestPolicies:
+    def test_fifo_picks_the_queue_head(self):
+        p = FifoPolicy()
+        assert p.pick((3, 1, 2)) == 3
+        assert p.name == "fifo" and p.seed is None and not p.preemptive
+
+    def test_random_is_deterministic_per_seed(self):
+        runnable = tuple(range(8))
+        a = RandomPolicy(17)
+        b = RandomPolicy(17)
+        picks_a = [a.pick(runnable) for _ in range(50)]
+        picks_b = [b.pick(runnable) for _ in range(50)]
+        assert picks_a == picks_b
+        c = RandomPolicy(18)
+        assert picks_a != [c.pick(runnable) for _ in range(50)]
+
+    def test_random_reset_restarts_the_stream(self):
+        p = RandomPolicy(5)
+        first = [p.pick((0, 1, 2, 3)) for _ in range(20)]
+        p.reset()
+        assert [p.pick((0, 1, 2, 3)) for _ in range(20)] == first
+
+    def test_random_only_picks_runnable(self):
+        p = RandomPolicy(0)
+        for _ in range(100):
+            assert p.pick((2, 5)) in (2, 5)
+
+    def test_replay_follows_the_trace(self):
+        trace = ScheduleTrace(policy="random", seed=1, events=[2, 0, 1])
+        p = ReplayPolicy(trace)
+        assert p.pick((0, 1, 2)) == 2
+        assert p.pick((0, 1)) == 0
+        assert p.pick((1, 3)) == 1
+
+    def test_replay_divergence_raises(self):
+        p = ReplayPolicy(ScheduleTrace(events=[2]))
+        with pytest.raises(ScheduleReplayError, match="diverged"):
+            p.pick((0, 1))     # 2 is not runnable here
+
+    def test_replay_exhaustion_raises(self):
+        p = ReplayPolicy(ScheduleTrace(events=[0]))
+        p.pick((0,))
+        with pytest.raises(ScheduleReplayError, match="exhausted"):
+            p.pick((0,))
+
+    def test_make_policy_parses_specs(self):
+        assert make_policy(None).name == "fifo"
+        assert make_policy("fifo").name == "fifo"
+        r = make_policy("random:42")
+        assert r.name == "random" and r.seed == 42 and r.preemptive
+        assert make_policy("random").seed == 0
+        p = FifoPolicy()
+        assert make_policy(p) is p
+        rp = make_policy(ScheduleTrace(events=[0]))
+        assert isinstance(rp, ReplayPolicy)
+
+    def test_make_policy_rejects_junk(self):
+        with pytest.raises(MPIError):
+            make_policy("lifo")
+        with pytest.raises(MPIError):
+            make_policy("random:banana")
+        with pytest.raises(MPIError):
+            make_policy(3.14)
+
+
+# -------------------------------------------------------------------- trace
+class TestScheduleTrace:
+    def test_canonical_json_roundtrip(self):
+        t = ScheduleTrace(policy="random", seed=9, preemptive=True,
+                          n_tasks=4, events=[0, 3, 1, 1])
+        back = ScheduleTrace.from_json(t.to_json())
+        assert back == t
+        assert back.to_json() == t.to_json()
+        # canonical: compact, sorted keys
+        assert " " not in t.to_json()
+
+    def test_dump_load(self, tmp_path):
+        t = ScheduleTrace(policy="fifo", n_tasks=2, events=[0, 1, 0])
+        path = tmp_path / "sched_trace.json"
+        t.dump(path)
+        assert ScheduleTrace.load(path) == t
+
+    def test_version_is_checked(self):
+        with pytest.raises(ValueError):
+            ScheduleTrace.from_dict({"version": 2, "events": []})
+
+    def test_len_counts_events(self):
+        assert len(ScheduleTrace(events=[1, 2, 3])) == 3
+
+
+# ------------------------------------------------------------------ factory
+class TestBackendFactory:
+    def test_threads_is_the_default(self):
+        rt = Runtime(core2_cluster(1), n_tasks=2)
+        assert rt.execution_backend == "threads"
+        assert isinstance(rt._backend, ThreadsBackend)
+        assert rt.schedule_trace() is None
+
+    def test_schedule_requires_coop(self):
+        with pytest.raises(MPIError, match="backend='coop'"):
+            Runtime(core2_cluster(1), n_tasks=2, schedule="random:1")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(MPIError, match="unknown execution backend"):
+            Runtime(core2_cluster(1), n_tasks=2, backend="fibers")
+
+    def test_coop_backend_wires_the_policy(self):
+        b = make_execution_backend("coop", 4, schedule="random:3")
+        assert isinstance(b, CoopBackend)
+        assert b.policy.seed == 3
+        assert isinstance(b.condition(), CoopWaker)
+
+
+# ------------------------------------------------------------ virtual clock
+class TestVirtualClock:
+    def test_sleep_costs_no_wall_time(self):
+        import time as _time
+        rt = coop_runtime()
+
+        def main(ctx):
+            ctx.sleep(30.0)          # far beyond the suite timeout
+            return ctx.runtime.now()
+
+        t0 = _time.monotonic()
+        ends = rt.run(main)
+        assert _time.monotonic() - t0 < 5.0
+        assert all(v >= 30.0 for v in ends)
+
+    def test_sleep_order_is_rank_deterministic(self):
+        rt = coop_runtime()
+        order = []
+        lock = threading.Lock()
+
+        def main(ctx):
+            ctx.sleep(float(N_TASKS - ctx.rank))   # rank 3 wakes first
+            with lock:
+                order.append(ctx.rank)
+
+        rt.run(main)
+        assert order == list(range(N_TASKS))[::-1]
+
+    def test_threads_clock_is_real(self):
+        rt = Runtime(core2_cluster(1), n_tasks=2)
+        import time as _time
+        assert abs(rt.now() - _time.monotonic()) < 1.0
+
+
+# ------------------------------------------------------------------- stall
+class TestStallBackstop:
+    def test_global_park_without_timers_becomes_deadlock(self):
+        """Tasks parked on a bare waker, no timeout, nothing external:
+        the scheduler must inject DeadlockError instead of hanging."""
+        sched = CoopScheduler(2, FifoPolicy())
+        waker = CoopWaker(sched)
+        outcomes = {}
+
+        def worker(rank):
+            try:
+                with waker:
+                    waker.wait()         # no timeout, nobody notifies
+                outcomes[rank] = "woke"
+            except DeadlockError:
+                outcomes[rank] = "deadlock"
+
+        sched.launch(worker)
+        assert outcomes == {0: "deadlock", 1: "deadlock"}
+        assert sched.stall_recoveries == 1
+
+
+# ------------------------------------------------------------- checkpoints
+class TestPreemption:
+    def test_fifo_never_preempts_at_checkpoints(self):
+        rt = coop_runtime(schedule="fifo")
+
+        def main(ctx):
+            for peer in range(ctx.size):
+                if peer != ctx.rank:
+                    ctx.comm_world.send(ctx.rank, peer)
+            return sorted(
+                ctx.comm_world.recv() for _ in range(ctx.size - 1)
+            )
+
+        rt.run(main)
+        assert rt.sched_metrics().preemptions == 0
+
+    def test_random_policy_preempts_at_sends(self):
+        rt = coop_runtime(schedule="random:2")
+
+        def main(ctx):
+            for peer in range(ctx.size):
+                if peer != ctx.rank:
+                    ctx.comm_world.send(ctx.rank, peer)
+            got = sorted(
+                ctx.comm_world.recv() for _ in range(ctx.size - 1)
+            )
+            assert got == sorted(set(range(ctx.size)) - {ctx.rank})
+
+        rt.run(main)
+        m = rt.sched_metrics()
+        assert m.preemptions > 0
+        # every preemption is a recorded decision point
+        assert len(rt.schedule_trace()) == m.decisions
+
+
+# ---------------------------------------------------------------- metrics
+class TestSchedMetrics:
+    def test_coop_counters_are_populated(self):
+        rt = coop_runtime()
+
+        def main(ctx):
+            ctx.comm_world.barrier()
+            return ctx.comm_world.allreduce(1)
+
+        res = rt.run(main)
+        assert res == [N_TASKS] * N_TASKS
+        m = rt.sched_metrics()
+        assert m.backend == "coop"
+        assert m.n_tasks == N_TASKS
+        assert m.context_switches > 0
+        assert m.parks > 0
+        assert m.notify_wakes + m.timer_wakes > 0
+        assert m.max_runq_depth >= N_TASKS  # all start runnable
+        assert m.decisions == len(rt.schedule_trace())
+        snap = m.snapshot()
+        assert snap["backend"] == "coop"
+        assert "sched metrics" in m.render()
+
+    def test_threads_snapshot_is_degenerate(self):
+        rt = Runtime(core2_cluster(1), n_tasks=2)
+        m = rt.sched_metrics()
+        assert m.backend == "threads"
+        assert m.context_switches == 0 and m.decisions == 0
+
+    def test_trace_records_run_shape(self):
+        rt = coop_runtime(schedule="random:11")
+        rt.run(lambda ctx: ctx.comm_world.barrier())
+        t = rt.schedule_trace()
+        assert t.policy == "random" and t.seed == 11
+        assert t.preemptive and t.n_tasks == N_TASKS
+        assert all(0 <= r < N_TASKS for r in t.events)
+
+
+# ----------------------------------------------------------------- waker
+class TestCoopWaker:
+    def test_context_manager_protocol(self):
+        sched = CoopScheduler(1, FifoPolicy())
+        w = CoopWaker(sched)
+        with w:
+            pass                      # acquire/release must not wedge
+        w.acquire()
+        w.release()
+
+    def test_notify_off_task_is_safe(self):
+        """Abort broadcasts arrive from the scheduler thread (no current
+        task); notifying an empty waker must be a no-op."""
+        sched = CoopScheduler(1, FifoPolicy())
+        w = CoopWaker(sched)
+        with w:
+            w.notify_all()
+
+    def test_timed_wait_reports_timeout(self):
+        sched = CoopScheduler(1, FifoPolicy())
+        w = CoopWaker(sched)
+        flags = {}
+
+        def worker(rank):
+            with w:
+                flags["woke"] = w.wait(timeout=0.5)
+
+        sched.launch(worker)
+        assert flags["woke"] is False          # virtual-clock timeout
+        assert sched.timer_wakes == 1
+        assert sched.vtime >= 0.5
