@@ -24,12 +24,13 @@ import pytest
 _ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
 #: per-artifact measurement queues, drained at session end
-_QUEUES = {"p2p": [], "rma": [], "memory": [], "sched": []}
+_QUEUES = {"p2p": [], "rma": [], "memory": [], "sched": [], "loadbalance": []}
 _PATHS = {
     "p2p": os.path.join(_ROOT, "BENCH_p2p.json"),
     "rma": os.path.join(_ROOT, "BENCH_rma.json"),
     "memory": os.path.join(_ROOT, "BENCH_memory.json"),
     "sched": os.path.join(_ROOT, "BENCH_sched.json"),
+    "loadbalance": os.path.join(_ROOT, "BENCH_loadbalance.json"),
 }
 
 
@@ -59,6 +60,13 @@ def record_memory(name, **fields):
     """Queue one footprint measurement for the BENCH_memory.json
     trajectory (per-node MB plus the per-level/per-kind breakdowns)."""
     _QUEUES["memory"].append({"name": name, **fields})
+
+
+def record_loadbalance(name, **fields):
+    """Queue one load-balance measurement (finish-time c.o.v., steal
+    traffic, wall time vs the static oracle) for the
+    BENCH_loadbalance.json trajectory."""
+    _QUEUES["loadbalance"].append({"name": name, **fields})
 
 
 def _append_trajectory(path, results):

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -93,6 +93,9 @@ class AppRunResult:
     checksum: float                  # solver output, for variant equivalence
     #: end-of-run per-node / per-level / per-kind live-bytes snapshot
     memory_metrics: Optional[MemoryMetrics] = None
+    #: ``rt.loadbalance_metrics()`` when the app ran a self-scheduled
+    #: loop (``schedule != "static"``), else None
+    loadbalance: Optional[Any] = None
 
 
 def make_runtime(cfg) -> Runtime:

@@ -27,8 +27,17 @@ import numpy as np
 from repro.apps.eulermhd import AppRunResult, make_runtime
 from repro.hls import HLSProgram
 from repro.metrics import MemorySampler
+from repro.scheduler import dynamic_for
 
 RUNTIMES = ("mpc", "openmpi")
+
+#: near-field radius of the dynamic path's clustered force loop
+NEAR_RADIUS = 0.12
+#: modeled seconds per near-interaction refinement unit: the dynamic
+#: loop sleeps this long per unit of chunk work, so task occupancy (and
+#: the claim order that drives load balance) follows the modeled
+#: compute cost rather than the GIL's coarse thread quantum
+DYN_COST_S = 1e-5
 
 EWALD_TABLE_BYTES = 33 << 20         # paper: ~33MB Ewald correction table
 PARTICLE_BASE = 16 << 20             # per-task particle + tree storage
@@ -49,12 +58,23 @@ class GadgetConfig:
     ewald_n: int = 32                # live Ewald table resolution (n^3)
     connect_all_peers: bool = True   # Gadget's all-pairs exchange pattern
     seed: int = 11
+    #: "static" = the legacy per-task decomposition; anything else
+    #: ("even" | "fixed[:K]" | "guided[:MIN]" | "factoring[:MIN]") runs
+    #: the clustered particle loop through ``scheduler.dynamic_for``
+    #: ("even" being the measured static oracle of that same loop)
+    schedule: str = "static"
+    steal: bool = True
+    sharing: str = "private"         # zero-copy policy (mpc only)
 
     def __post_init__(self) -> None:
         if self.runtime not in RUNTIMES:
             raise ValueError(f"runtime must be one of {RUNTIMES}")
         if self.hls and self.runtime == "openmpi":
             raise ValueError("Table III evaluates HLS on MPC only")
+        if self.sharing not in ("private", "shared"):
+            raise ValueError(f"unknown sharing policy {self.sharing!r}")
+        if self.sharing == "shared" and self.runtime == "openmpi":
+            raise ValueError("the process backend cannot share address space")
 
     @property
     def n_tasks(self) -> int:
@@ -78,6 +98,71 @@ def _trilinear(table: np.ndarray, pos: np.ndarray) -> np.ndarray:
                 )
                 out += w * table[i[:, 0] + dx, i[:, 1] + dy, i[:, 2] + dz]
     return out
+
+
+def _clustered_particles(cfg: GadgetConfig) -> np.ndarray:
+    """The dynamic path's *global* particle set, identical on every
+    task: one third sits in a dense blob (many near neighbours = heavy
+    iterations), the rest is uniform, and sorting by x turns the blob
+    into a contiguous run of expensive iterations -- the skew a static
+    decomposition handles badly."""
+    rng = np.random.default_rng(cfg.seed)
+    n_total = cfg.particles_per_task * cfg.n_tasks
+    n_dense = n_total // 3
+    dense = 0.5 + 0.04 * rng.standard_normal((n_dense, 3))
+    rest = rng.random((n_total - n_dense, 3))
+    pos = np.clip(np.vstack([dense, rest]), 0.0, 0.999999)
+    return pos[np.argsort(pos[:, 0], kind="stable")]
+
+
+def _dynamic_step_loop(ctx, cfg: GadgetConfig, ewald, sampler) -> float:
+    """Self-scheduled gravity: iteration i computes particle i's force
+    against the whole set, with the near field refined once per 64
+    near neighbours (a tree-refinement analog -- recomputation is
+    idempotent, so results are bit-equal across any chunking).  Forces
+    are written exactly once each, so a plain allreduce of the
+    zero-initialised per-task arrays assembles the step."""
+    c = ctx.comm_world
+    pos = _clustered_particles(cfg)
+    vel = np.zeros_like(pos)
+    r2_near = NEAR_RADIUS * NEAR_RADIUS
+    for step in range(cfg.steps):
+        force = np.zeros_like(pos)
+
+        def body(lo, hi):
+            work = 0.0
+            for i in range(lo, hi):
+                d = pos[i] - pos
+                r2 = (d * d).sum(1) + 1e-3
+                contrib = d / r2[:, None] ** 1.5
+                far = contrib[r2 >= r2_near].sum(0)
+                near_mask = r2 < r2_near
+                k = int(near_mask.sum())
+                # refine the near field in passes, one per 64 near
+                # neighbours -- the workload skew the blob creates
+                passes = 1 + k // 64
+                for _ in range(passes):
+                    near = contrib[near_mask].sum(0)
+                force[i] = far + near
+                work += float(k * passes)
+            ctx.sleep(work * DYN_COST_S)
+            return work
+
+        dynamic_for(
+            ctx, len(pos), body, policy=cfg.schedule, steal=cfg.steal,
+            label=f"gadget.step{step}",
+        )
+        force = c.allreduce(force)
+        corr = _trilinear(ewald, pos)
+        vel += 0.001 * (force + corr[:, None])
+        pos = (pos + 0.001 * vel) % 1.0
+        c.allgather(pos.mean(0))
+        if ctx.rank == 0:
+            sampler.sample()
+        c.barrier()
+    # vel is replicated; only rank 0 reports so the caller's sum over
+    # ranks equals the global figure
+    return float(np.abs(vel).sum()) if ctx.rank == 0 else 0.0
 
 
 def run_gadget(cfg: GadgetConfig) -> AppRunResult:
@@ -122,6 +207,8 @@ def run_gadget(cfg: GadgetConfig) -> AppRunResult:
                 src = (ctx.rank - d) % ctx.size
                 c.sendrecv(np.array([float(ctx.rank)]), dest=dest,
                            source=src, sendtag=d)
+        if cfg.schedule != "static":
+            return _dynamic_step_loop(ctx, cfg, ewald, sampler)
         for step in range(cfg.steps):
             # local direct-summation gravity on own particles
             diff = pos[:, None, :] - pos[None, :, :]
@@ -154,6 +241,9 @@ def run_gadget(cfg: GadgetConfig) -> AppRunResult:
         comm=rt.stats,
         checksum=float(np.sum(sums)),
         memory_metrics=rt.memory_metrics(),
+        loadbalance=(
+            rt.loadbalance_metrics() if cfg.schedule != "static" else None
+        ),
     )
 
 

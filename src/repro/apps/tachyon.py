@@ -30,8 +30,14 @@ import numpy as np
 from repro.apps.eulermhd import AppRunResult, make_runtime
 from repro.hls import HLSProgram
 from repro.metrics import MemorySampler
+from repro.scheduler import dynamic_for, node_chunk_tables, make_policy
 
 RUNTIMES = ("mpc", "openmpi")
+
+#: modeled seconds per covered sphere-row in the dynamic path (the
+#: rendering cost a chunk's rows represent; empty sky is nearly free --
+#: the skew static row decomposition balances badly)
+DYN_COST_S = 1e-3
 
 SCENE_BYTES = 377 << 20              # paper: scene objects + textures
 IMAGE_BYTES = 183 << 20              # paper: 4000x4000 RGB
@@ -56,6 +62,12 @@ class TachyonConfig:
     height: int = 0                  # live image height; 0 = 2 rows/task
     n_spheres: int = 12
     seed: int = 5
+    #: "static" = the legacy one-strip-per-task decomposition; anything
+    #: else ("even" | "fixed[:K]" | "guided[:MIN]" | "factoring[:MIN]")
+    #: self-schedules row chunks through ``scheduler.dynamic_for``
+    schedule: str = "static"
+    steal: bool = True
+    sharing: str = "private"         # zero-copy policy (mpc only)
 
     def __post_init__(self) -> None:
         if self.runtime not in RUNTIMES:
@@ -66,6 +78,10 @@ class TachyonConfig:
             object.__setattr__(self, "height", 2 * self.n_tasks)
         if self.height % self.n_tasks:
             raise ValueError("height must divide evenly among tasks")
+        if self.sharing not in ("private", "shared"):
+            raise ValueError(f"unknown sharing policy {self.sharing!r}")
+        if self.sharing == "shared" and self.runtime == "openmpi":
+            raise ValueError("the process backend cannot share address space")
 
     @property
     def n_tasks(self) -> int:
@@ -101,6 +117,88 @@ def _render_strip(
     return out
 
 
+def _sphere_row_spans(spheres: np.ndarray, height: int) -> list:
+    """Per sphere, the inclusive integer row range it can touch: a hit
+    needs ``|py - cy| < r``, so rows outside the conservative bound can
+    be skipped without changing a single pixel."""
+    spans = []
+    for _cx, cy, _cz, r, _bright in spheres:
+        y_min = int(np.ceil((cy - r + 0.5) * height))
+        y_max = int(np.floor((cy + r + 0.5) * height))
+        spans.append((max(y_min, 0), min(y_max, height - 1)))
+    return spans
+
+
+def _render_rows(
+    spheres: np.ndarray, spans: list, lo: int, hi: int,
+    width: int, height: int,
+) -> tuple:
+    """Trace rows ``[lo, hi)`` with per-sphere row culling.
+
+    Pixels are computed row-independently and spheres are visited in
+    scene order, so the image is bit-identical for any chunking of the
+    row space.  Returns ``(strip, work)`` where work counts covered
+    sphere-rows -- the deterministic cost measure of the chunk."""
+    ys, xs = np.mgrid[lo:hi, 0:width]
+    px = xs / width - 0.5
+    py = ys / height - 0.5
+    out = np.zeros(px.shape)
+    work = 0.0
+    for (y0, y1), (cx, cy, _cz, r, bright) in zip(spans, spheres):
+        rows = min(y1, hi - 1) - max(y0, lo) + 1
+        if rows <= 0:
+            continue
+        work += float(rows)
+        dx = px - cx
+        dy = py - cy
+        d2 = dx * dx + dy * dy
+        hit = d2 < r * r
+        shade = bright * (1.0 - np.sqrt(d2) / r)
+        out = np.where(hit & (out < shade), shade, out)
+    return out, work
+
+
+def _dynamic_render_loop(ctx, cfg: TachyonConfig, scene, image, sampler):
+    """Self-scheduled rendering: row chunks are claimed/stolen through
+    ``dynamic_for``; every executed chunk sends its rows to rank 0
+    under a (frame, first-row) tag, and rank 0 -- which knows the
+    deterministic chunk tables -- receives each chunk from whichever
+    task rendered it (``ANY_SOURCE``), so assembly is independent of
+    the dynamic execution placement."""
+    from repro.runtime import ANY_SOURCE
+
+    c = ctx.comm_world
+    spheres = np.asarray(scene).copy()
+    spans = _sphere_row_spans(spheres, cfg.height)
+    _, tables = node_chunk_tables(
+        ctx.runtime, c, cfg.height, make_policy(cfg.schedule)
+    )
+    all_chunks = sorted(ch for chunks in tables.values() for ch in chunks)
+    total = 0.0
+    for frame in range(cfg.frames):
+        def body(lo, hi):
+            strip, work = _render_rows(
+                spheres, spans, lo, hi, cfg.width, cfg.height
+            )
+            image[lo:hi, :] = strip
+            ctx.sleep(work * DYN_COST_S)
+            c.send(image[lo:hi, :], dest=0, tag=frame * cfg.height + lo)
+            return work
+
+        dynamic_for(
+            ctx, cfg.height, body, policy=cfg.schedule, steal=cfg.steal,
+            label=f"tachyon.frame{frame}",
+        )
+        if ctx.rank == 0:
+            for lo, hi in all_chunks:
+                c.recv(source=ANY_SOURCE, tag=frame * cfg.height + lo,
+                       buf=image[lo:hi, :])
+            total += float(image.sum())
+            sampler.sample()
+        c.barrier()
+    return total
+
+
 def run_tachyon(cfg: TachyonConfig) -> TachyonResult:
     """Run one configuration; returns the Table IV row."""
     rt = make_runtime(cfg)
@@ -133,6 +231,8 @@ def run_tachyon(cfg: TachyonConfig) -> TachyonResult:
                 h.single_done("scene")
         scene = h["scene"]
         image = h["image"]
+        if cfg.schedule != "static":
+            return _dynamic_render_loop(ctx, cfg, scene, image, sampler)
         y0 = ctx.rank * rows_per_task
         y1 = y0 + rows_per_task
         total = 0.0
@@ -183,6 +283,9 @@ def run_tachyon(cfg: TachyonConfig) -> TachyonResult:
         memory_metrics=rt.memory_metrics(),
         elided_messages=rt.stats.elided,
         elided_bytes=rt.stats.elided_bytes,
+        loadbalance=(
+            rt.loadbalance_metrics() if cfg.schedule != "static" else None
+        ),
     )
 
 

@@ -44,6 +44,10 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "rma.put": ("delay", "crash", "wake"),
     "rma.get": ("delay", "crash", "wake"),
     "rma.epoch": ("delay", "crash", "wake"),
+    # loop self-scheduling (repro.scheduler): before a chunk-claim
+    # fetch-and-add and before a steal's tail compare-and-swap
+    "sched.claim": ("delay", "crash", "wake"),
+    "sched.steal": ("delay", "crash", "wake"),
 }
 
 #: all actions any site understands

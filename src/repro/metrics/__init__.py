@@ -3,6 +3,7 @@
 from repro.metrics.memory import MemoryMetrics, MemorySampler, MemoryReport
 from repro.metrics.collectives import CollectiveMetrics
 from repro.metrics.faults import FaultMetrics
+from repro.metrics.loadbalance import LoadBalanceMetrics
 from repro.metrics.p2p import P2PMetrics
 from repro.metrics.rma import RMAMetrics
 from repro.metrics.sched import SchedMetrics
@@ -16,6 +17,7 @@ __all__ = [
     "MemoryReport",
     "CollectiveMetrics",
     "FaultMetrics",
+    "LoadBalanceMetrics",
     "P2PMetrics",
     "RMAMetrics",
     "SchedMetrics",

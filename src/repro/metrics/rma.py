@@ -30,6 +30,9 @@ class RMAMetrics:
     puts: int = 0
     gets: int = 0
     accumulates: int = 0
+    #: single-element atomics (fetch-and-op / compare-and-swap)
+    fetch_and_ops: int = 0
+    compare_and_swaps: int = 0
     #: payload bytes moved by all one-sided operations
     bytes: int = 0
     #: staging copies made on non-direct accesses (origin serialisation,
@@ -68,6 +71,8 @@ class RMAMetrics:
                 m.puts += c.puts
                 m.gets += c.gets
                 m.accumulates += c.accumulates
+                m.fetch_and_ops += c.fetch_and_ops
+                m.compare_and_swaps += c.compare_and_swaps
                 m.bytes += c.bytes
                 m.staged_copies += c.staged_copies
                 m.staged_bytes += c.staged_bytes
@@ -83,7 +88,8 @@ class RMAMetrics:
     @property
     def ops(self) -> int:
         """All one-sided operations issued."""
-        return self.puts + self.gets + self.accumulates
+        return (self.puts + self.gets + self.accumulates
+                + self.fetch_and_ops + self.compare_and_swaps)
 
     @property
     def zero_copy_fraction(self) -> float:
@@ -98,6 +104,8 @@ class RMAMetrics:
             "puts": self.puts,
             "gets": self.gets,
             "accumulates": self.accumulates,
+            "fetch_and_ops": self.fetch_and_ops,
+            "compare_and_swaps": self.compare_and_swaps,
             "bytes": self.bytes,
             "staged_copies": self.staged_copies,
             "staged_bytes": self.staged_bytes,

@@ -369,6 +369,33 @@ class Mailbox:
                 self._cond.wait(timeout=min(remaining, _ABORT_TICK))
                 self.wakeups += 1
 
+    def activity_token(self) -> int:
+        """Opaque arrival stamp for :meth:`park_for_activity` -- capture
+        it *before* polling so a post racing the poll is never slept
+        through."""
+        with self._cond:
+            return self.posted
+
+    def park_for_activity(self, token: int, timeout: float) -> None:
+        """Park until the next post, an abort wake, or ``timeout``.
+
+        The event-driven backoff of ``Request.waitany``: instead of a
+        blind growing sleep (which, under ``backend="coop"``, advances
+        the virtual clock by its full quantum whenever the poller is
+        the only runnable task), the poller parks on this mailbox's
+        condition, so the matching post wakes it immediately and an
+        unanswered wait costs at most ``timeout`` of virtual time per
+        sweep.  Returns immediately when ``token`` is stale (a message
+        arrived since the caller's poll)."""
+        with self._cond:
+            if self._abort.is_set():
+                note_abort(self._abort)
+                raise AbortError(f"task {self.owner}: job aborted")
+            if self.posted != token:
+                return
+            self._cond.wait(timeout=timeout)
+            self.wakeups += 1
+
     def pending_count(self) -> int:
         with self._cond:
             return len(self.matcher) + len(self._held)

@@ -16,6 +16,12 @@ class Request:
     block on :meth:`wait`.
     """
 
+    #: cap on one waitany park: an event (matching post, abort) wakes
+    #: the poller immediately; the cap only bounds how much virtual
+    #: time an *unanswered* sweep can consume under ``backend="coop"``
+    #: (and how late a post racing the park is noticed under threads)
+    WAITANY_PARK_CAP = 1.0
+
     def __init__(
         self,
         *,
@@ -23,6 +29,8 @@ class Request:
         try_complete: Callable[[], Optional[Tuple[Any, Status]]],
         block_complete: Callable[[], Tuple[Any, Status]],
         sleep: Optional[Callable[[float], None]] = None,
+        park: Optional[Callable[[int, float], None]] = None,
+        park_token: Optional[Callable[[], int]] = None,
     ) -> None:
         self.kind = kind
         self._try = try_complete
@@ -32,6 +40,11 @@ class Request:
         # the coop runner must park, or the poll loop would starve
         # every other task (there is only one runner)
         self._sleep = sleep
+        # Event-driven backoff (preferred over _sleep when available):
+        # park on the owning mailbox's condition so completion events
+        # wake the poller instead of being discovered by the next sweep.
+        self._park = park
+        self._park_token = park_token
         self._done = False
         self._result: Any = None
         self._status: Optional[Status] = None
@@ -86,17 +99,32 @@ class Request:
         event-driven in the mailbox and need no such loop)."""
         if not requests:
             raise ValueError("waitany needs at least one request")
+        parker = next(
+            (r for r in requests
+             if r._park is not None and r._park_token is not None),
+            None,
+        )
         sleep = next(
             (r._sleep for r in requests if r._sleep is not None), time.sleep
         )
         sweeps = 0
         while True:
+            token = parker._park_token() if parker is not None else 0
             for i, r in enumerate(requests):
                 if r.test():
                     return i, r.wait()
             sweeps += 1
             if sweeps > 1:
-                sleep(min(0.0001 * sweeps, 0.002))
+                if parker is not None:
+                    # Event-driven: parks on the mailbox condition, so a
+                    # matching post wakes the sweep immediately and the
+                    # bounded cap is only paid by genuinely idle waits --
+                    # a polling loop (e.g. a steal loop) cannot spin the
+                    # coop virtual clock forward past unrelated timers
+                    # in micro-sleep quanta.
+                    parker._park(token, Request.WAITANY_PARK_CAP)
+                else:
+                    sleep(min(0.0001 * sweeps, 0.002))
 
     @staticmethod
     def completed(result: Any = None, status: Optional[Status] = None) -> "Request":

@@ -99,7 +99,8 @@ class _WinCounters:
     """Per-window RMA counters (guarded by the window's stats lock)."""
 
     __slots__ = (
-        "puts", "gets", "accumulates", "bytes",
+        "puts", "gets", "accumulates", "fetch_and_ops", "compare_and_swaps",
+        "bytes",
         "staged_copies", "staged_bytes",
         "zero_copy_hits", "zero_copy_bytes",
         "epoch_waits", "fences", "locks", "mirror_bytes",
@@ -109,6 +110,8 @@ class _WinCounters:
         self.puts = 0
         self.gets = 0
         self.accumulates = 0
+        self.fetch_and_ops = 0
+        self.compare_and_swaps = 0
         self.bytes = 0
         self.staged_copies = 0
         self.staged_bytes = 0
@@ -150,7 +153,14 @@ class _WinShared:
         self.exposure: Dict[int, Dict[str, Any]] = {}
         self.exposure_gen: Dict[int, int] = {}
         # passive target: target comm-rank -> {holder comm-rank: mode}
+        # for *targeted* locks only; lock_all holders (a shared lock on
+        # every target at once) live in their own set, and exclusive
+        # holds keep running counts, so grant checks are O(1) per rank
+        # instead of scanning every target's holder dict
         self.lock_holders: Dict[int, Dict[int, str]] = {}
+        self.lockall_holders: set = set()
+        self.excl_count: Dict[int, int] = {}
+        self.excl_total = 0
         # per-(origin world-rank, target comm-rank) mirror allocations of
         # the process backend's window emulation
         self.mirrors: Dict[Tuple[int, int], Tuple[Any, Any]] = {}
@@ -545,6 +555,43 @@ class Win:
         st.note(gets=1, bytes=nbytes)
         return out
 
+    def _rmw(
+        self,
+        op_name: str,
+        counter: str,
+        src: Any,
+        target: int,
+        target_disp: int,
+        apply: Callable[[np.ndarray, Any], Any],
+    ) -> Any:
+        """Shared read-modify-write core of :meth:`accumulate`,
+        :meth:`fetch_and_op` and :meth:`compare_and_swap`.
+
+        One code path carries the epoch check, the zero-copy vs staged
+        (vs process-mirror) accounting, and -- critically -- the
+        per-window ``data_lock`` that serialises every RMW against puts
+        (the PR 4 fix).  ``apply(seg, contrib)`` runs with the lock
+        held and its return value is passed through, so the atomicity
+        guarantee cannot drift between the three backends."""
+        self._hit("rma.put")
+        self._check_live()
+        arr = np.asarray(src)
+        nbytes = int(arr.nbytes)
+        self._record_rma(op_name, target, nbytes)
+        self._check_epoch(target, op_name)
+        seg = self._segment(target, target_disp, int(arr.size))
+        st = self._shared
+        if self._direct(target):
+            contrib: Any = arr
+            st.note(zero_copy_hits=1, zero_copy_bytes=nbytes)
+        else:
+            contrib = clone(arr)
+            self._stage(target, nbytes)
+        with st.data_lock:
+            out = apply(seg, contrib)
+        st.note(bytes=nbytes, **{counter: 1})
+        return out
+
     def accumulate(
         self,
         src: Any,
@@ -556,23 +603,63 @@ class Win:
         reduction op from :mod:`repro.runtime.ops` (MPI_Accumulate
         analog).  Serialised per window, so concurrent accumulates from
         different origins never lose updates."""
-        self._hit("rma.put")
-        self._check_live()
-        arr = np.asarray(src)
-        nbytes = int(arr.nbytes)
-        self._record_rma("accumulate", target, nbytes)
-        self._check_epoch(target, "accumulate")
-        seg = self._segment(target, target_disp, int(arr.size))
-        st = self._shared
-        if self._direct(target):
-            contrib: Any = arr
-            st.note(zero_copy_hits=1, zero_copy_bytes=nbytes)
-        else:
-            contrib = clone(arr)
-            self._stage(target, nbytes)
-        with st.data_lock:
+
+        def apply(seg: np.ndarray, contrib: Any) -> None:
             seg[...] = op(seg, contrib)
-        st.note(accumulates=1, bytes=nbytes)
+
+        self._rmw("accumulate", "accumulates", src, target, target_disp, apply)
+
+    def fetch_and_op(
+        self,
+        value: Any,
+        target: int,
+        op: Op = SUM,
+        target_disp: int = 0,
+    ) -> Any:
+        """Atomic single-element fetch-and-op (MPI_Fetch_and_op analog):
+        reads the target element, stores ``op(old, value)``, and returns
+        the *old* value.  With the default ``SUM`` this is fetch-and-add
+        -- the claim primitive of ``repro.scheduler``'s chunk queues."""
+        arr = np.asarray(value)
+        if arr.size != 1:
+            raise MPIError("fetch_and_op operates on exactly one element")
+
+        def apply(seg: np.ndarray, contrib: Any) -> Any:
+            old = seg[0]                    # scalar indexing copies
+            seg[...] = op(seg, contrib)
+            return old
+
+        return self._rmw(
+            "fetch_and_op", "fetch_and_ops", arr.reshape(1), target,
+            target_disp, apply,
+        )
+
+    def compare_and_swap(
+        self,
+        compare: Any,
+        new: Any,
+        target: int,
+        target_disp: int = 0,
+    ) -> Any:
+        """Atomic single-element compare-and-swap (MPI_Compare_and_swap
+        analog): stores ``new`` iff the target element equals
+        ``compare``; always returns the *old* value, so the caller
+        detects success with ``old == compare``."""
+        new_arr = np.asarray(new)
+        if new_arr.size != 1:
+            raise MPIError("compare_and_swap operates on exactly one element")
+
+        def apply(seg: np.ndarray, contrib: Any) -> Any:
+            old = seg[0]
+            expected = np.asarray(compare, dtype=seg.dtype).reshape(-1)[0]
+            if old == expected:
+                seg[0] = np.asarray(contrib).reshape(-1)[0]
+            return old
+
+        return self._rmw(
+            "compare_and_swap", "compare_and_swaps", new_arr.reshape(1),
+            target, target_disp, apply,
+        )
 
     def flush(self, target: Optional[int] = None) -> None:
         """MPI_Win_flush analog.  Transfers complete eagerly in this
@@ -718,15 +805,19 @@ class Win:
         st = self._shared
 
         def grantable() -> bool:
-            holders = st.lock_holders.get(target, {})
             if mode == LOCK_EXCLUSIVE:
-                return not holders
-            return LOCK_EXCLUSIVE not in holders.values()
+                # exclusive needs sole ownership: no targeted lock and
+                # no lock_all holder (whose shared lock spans ``target``)
+                return not st.lock_holders.get(target) and not st.lockall_holders
+            return st.excl_count.get(target, 0) == 0
 
         with st.cond:
             if st.wait_for(grantable, f"lock({target}, {mode})"):
                 st.note(epoch_waits=1)
             st.lock_holders.setdefault(target, {})[self.rank] = mode
+            if mode == LOCK_EXCLUSIVE:
+                st.excl_count[target] = st.excl_count.get(target, 0) + 1
+                st.excl_total += 1
         self._held_locks[target] = mode
         st.note(locks=1)
 
@@ -739,11 +830,19 @@ class Win:
         if target not in self._held_locks:
             raise MPIError(f"unlock({target}) without a held lock")
         st = self._shared
+        mode = self._held_locks[target]
         with st.cond:
             holders = st.lock_holders.get(target, {})
             holders.pop(self.rank, None)
             if not holders:
                 st.lock_holders.pop(target, None)
+            if mode == LOCK_EXCLUSIVE:
+                left = st.excl_count.get(target, 1) - 1
+                if left:
+                    st.excl_count[target] = left
+                else:
+                    st.excl_count.pop(target, None)
+                st.excl_total -= 1
             st.cond.notify_all()
         del self._held_locks[target]
 
@@ -758,16 +857,12 @@ class Win:
         st = self._shared
 
         def grantable() -> bool:
-            return all(
-                LOCK_EXCLUSIVE not in st.lock_holders.get(t, {}).values()
-                for t in range(st.size)
-            )
+            return st.excl_total == 0
 
         with st.cond:
             if st.wait_for(grantable, "lock_all()"):
                 st.note(epoch_waits=1)
-            for t in range(st.size):
-                st.lock_holders.setdefault(t, {})[self.rank] = LOCK_SHARED
+            st.lockall_holders.add(self.rank)
         self._lock_all = True
         st.note(locks=1)
 
@@ -780,11 +875,7 @@ class Win:
             raise MPIError("unlock_all() without lock_all()")
         st = self._shared
         with st.cond:
-            for t in range(st.size):
-                holders = st.lock_holders.get(t, {})
-                holders.pop(self.rank, None)
-                if not holders:
-                    st.lock_holders.pop(t, None)
+            st.lockall_holders.discard(self.rank)
             st.cond.notify_all()
         self._lock_all = False
 

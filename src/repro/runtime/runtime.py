@@ -213,6 +213,10 @@ class Runtime:
         #: aggregated by rma_metrics()
         self._windows: List[Any] = []
         self._win_lock = threading.Lock()
+        #: per-loop reports registered by repro.scheduler.dynamic_for;
+        #: aggregated by loadbalance_metrics()
+        self._loop_reports: List[Any] = []
+        self._loop_lock = threading.Lock()
         #: the runtime's own pool allocations, released by finalize()
         self._pool_allocs: List[tuple] = []
         self._finalized = False
@@ -241,6 +245,32 @@ class Runtime:
         delays perturb the schedule deterministically, not the wall
         clock."""
         self._backend.sleep(seconds)
+
+    def checkpoint(self) -> None:
+        """A cooperative scheduling point (no-op under the threads
+        backend): preemptive coop schedules may switch tasks here, so
+        lock-free protocols (e.g. the scheduler's chunk claims) expose
+        their interleavings to deterministic schedule exploration."""
+        self._backend.checkpoint()
+
+    def register_loop_report(self, report: Any) -> None:
+        """Record one ``dynamic_for`` loop report (called by rank 0 of
+        the loop's communicator after gathering per-task rows)."""
+        with self._loop_lock:
+            self._loop_reports.append(report)
+
+    def loop_reports(self) -> List[Any]:
+        with self._loop_lock:
+            return list(self._loop_reports)
+
+    def loadbalance_metrics(self):
+        """Aggregated self-scheduling counters of every
+        ``repro.scheduler.dynamic_for`` loop this runtime ran: per-task
+        busy/idle time, chunks claimed locally vs stolen, steal
+        attempts/failures, and the c.o.v. of task finish times."""
+        from repro.metrics.loadbalance import LoadBalanceMetrics
+
+        return LoadBalanceMetrics.from_runtime(self)
 
     def sched_metrics(self):
         """Snapshot of the scheduler counters (context switches, parks,

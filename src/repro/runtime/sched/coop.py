@@ -201,38 +201,55 @@ class CoopScheduler:
 
     # ------------------------------------------------------------- main loop
     def _loop(self) -> Optional[MPIError]:
+        # The hot path: one policy decision + one handoff per context
+        # switch.  Policies pick by *index* into the run queue
+        # (``pick_index``), so a dispatch never materialises the
+        # runnable-rank tuple -- with thousands of runnable tasks that
+        # per-switch O(n) build made large coop jobs superquadratic.
         error: Optional[MPIError] = None
         while True:
+            task: Optional[CoopTask] = None
+            pick_error: Optional[MPIError] = None
+            idx = 0
             with self._qlock:
                 if self._alive == 0:
                     return error
-                runnable = tuple(t.rank for t in self._runq)
-            if not runnable:
+                runq = self._runq
+                if runq:
+                    if self._recording:
+                        try:
+                            idx = self.policy.pick_index(runq)
+                            task = runq[idx]
+                            self.trace.events.append(task.rank)
+                            self.decisions += 1
+                        except MPIError as exc:
+                            # scheduler-level failure (replay
+                            # divergence): stop recording, abort the
+                            # job, drain fifo
+                            pick_error = exc
+                            self._recording = False
+                    else:
+                        task = runq[0]
+            if pick_error is not None:
+                error = pick_error
+                if self.on_drain is not None:
+                    self.on_drain()
+                continue
+            if task is None:
                 self._idle()
                 continue
-            if self._recording:
-                try:
-                    rank = self.policy.pick(runnable)
-                    self.trace.events.append(rank)
-                    self.decisions += 1
-                except MPIError as exc:
-                    # scheduler-level failure (replay divergence):
-                    # stop recording, abort the job, drain fifo
-                    error = exc
-                    self._recording = False
-                    if self.on_drain is not None:
-                        self.on_drain()
-                    continue
-            else:
-                rank = runnable[0]
-            self._dispatch(self.tasks[rank])
+            self._dispatch(task, idx)
 
-    def _dispatch(self, task: CoopTask) -> None:
+    def _dispatch(self, task: CoopTask, idx: int = 0) -> None:
         with self._qlock:
-            if self._runq and self._runq[0] is task:
-                self._runq.popleft()
+            runq = self._runq
+            # other threads only *append* between the pick and here, so
+            # the picked index still names the same task; the fallback
+            # scan covers any future caller without an index
+            if idx < len(runq) and runq[idx] is task:
+                del runq[idx]
             else:
-                self._runq.remove(task)
+                runq.remove(task)
             task.state = RUNNING
             self.context_switches += 1
         self._handoff.clear()

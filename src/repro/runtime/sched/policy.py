@@ -122,6 +122,17 @@ class SchedulePolicy:
         by wake time -- index 0 has been runnable the longest)."""
         raise NotImplementedError
 
+    def pick_index(self, runq: Sequence) -> int:
+        """Choose the next task as an *index* into ``runq`` (a non-empty
+        sequence of tasks with ``.rank``, same wake-time order as
+        :meth:`pick` sees).  This is the scheduler's hot path: the
+        built-in policies override it with O(1) selection so a dispatch
+        never materialises the runnable set.  The default defers to
+        :meth:`pick`, so custom policies only need the rank-based
+        method."""
+        ranks = tuple(t.rank for t in runq)
+        return ranks.index(self.pick(ranks))
+
 
 class FifoPolicy(SchedulePolicy):
     """Run the longest-runnable task; no preemption."""
@@ -130,6 +141,9 @@ class FifoPolicy(SchedulePolicy):
 
     def pick(self, runnable: Sequence[int]) -> int:
         return runnable[0]
+
+    def pick_index(self, runq: Sequence) -> int:
+        return 0
 
 
 class RandomPolicy(SchedulePolicy):
@@ -148,6 +162,11 @@ class RandomPolicy(SchedulePolicy):
 
     def pick(self, runnable: Sequence[int]) -> int:
         return runnable[self._rng.randrange(len(runnable))]
+
+    def pick_index(self, runq: Sequence) -> int:
+        # the same single randrange draw as pick(), so a given seed
+        # produces the identical schedule through either entry point
+        return self._rng.randrange(len(runq))
 
 
 class ReplayPolicy(SchedulePolicy):
@@ -181,6 +200,25 @@ class ReplayPolicy(SchedulePolicy):
             )
         self._step += 1
         return choice
+
+    def pick_index(self, runq: Sequence) -> int:
+        if self._step >= len(self.trace.events):
+            raise ScheduleReplayError(
+                f"schedule trace exhausted at decision {self._step} with "
+                f"runnable set {[t.rank for t in runq]} -- the replayed "
+                f"workload made more scheduling decisions than the recording"
+            )
+        choice = self.trace.events[self._step]
+        for idx, task in enumerate(runq):
+            if task.rank == choice:
+                self._step += 1
+                return idx
+        raise ScheduleReplayError(
+            f"schedule replay diverged at decision {self._step}: trace "
+            f"chose task {choice} but the runnable set is "
+            f"{[t.rank for t in runq]} -- workload or fault plan differs "
+            f"from the recording"
+        )
 
 
 def make_policy(

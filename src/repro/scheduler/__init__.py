@@ -1,0 +1,47 @@
+"""Loop self-scheduling over HLS node queues and one-sided atomics.
+
+``dynamic_for`` is the entry point; policies, the chunk queue and the
+work stealer are exported for direct use and for the property suite.
+"""
+
+from repro.scheduler.api import (
+    LoopReport,
+    TaskLoopStats,
+    dynamic_for,
+    policy_spec,
+)
+from repro.scheduler.policy import (
+    FactoringPolicy,
+    FixedChunkPolicy,
+    GuidedPolicy,
+    SelfSchedPolicy,
+    StaticPolicy,
+    make_policy,
+)
+from repro.scheduler.queue import (
+    ChunkQueue,
+    node_chunk_tables,
+    node_layout,
+    pack_counters,
+    unpack_counters,
+)
+from repro.scheduler.stealer import WorkStealer
+
+__all__ = [
+    "ChunkQueue",
+    "FactoringPolicy",
+    "FixedChunkPolicy",
+    "GuidedPolicy",
+    "LoopReport",
+    "SelfSchedPolicy",
+    "StaticPolicy",
+    "TaskLoopStats",
+    "WorkStealer",
+    "dynamic_for",
+    "make_policy",
+    "node_chunk_tables",
+    "node_layout",
+    "pack_counters",
+    "policy_spec",
+    "unpack_counters",
+]

@@ -1,0 +1,311 @@
+"""Node-level chunk queues claimed with one-sided atomics.
+
+One :class:`ChunkQueue` materialises a loop's iteration space as
+per-node queues:
+
+* the **chunk descriptor table** of each node lives in HLS node-scoped
+  storage (one copy per node on runtimes with a shared node address
+  space, filled inside a ``single`` block) and is exposed by the node's
+  leader rank through an RMA window so thieves can fetch stolen
+  descriptors with ``Win.get``;
+* the **head/tail counters** of each node are packed into a single
+  ``uint64`` word (head in the low 32 bits, tail in the high 32 bits)
+  in a second RMA window.
+
+The packing is what makes the protocol race-free with exactly the two
+atomics the runtime provides:
+
+* a local (or remote) **claim** is one ``fetch_and_op(+1)`` on the
+  packed word -- it increments the head and returns the old word, so
+  the claimant learns *both* the chunk index it owns and the tail it
+  must beat, in one atomic read-modify-write.  The claim is valid iff
+  ``head < tail``; a failed claim merely leaves the head inflated past
+  the tail, which every consumer treats as "drained".
+* a **steal** takes half the victim's remaining chunks with a single
+  ``compare_and_swap`` that rewrites the tail half of the word.  The
+  expected value includes the head half, so *any* interleaved claim
+  (which moves the head) fails the CAS and the thief retries elsewhere
+  -- no chunk can be both claimed locally and stolen.
+
+Exactly-once then follows: fetch-and-add hands out distinct head
+values below the observed tail, CAS serialises every tail movement,
+and a successful steal's new tail never drops below the head it
+validated against.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hls import HLSProgram
+from repro.hls.program import HLSHandle
+from repro.runtime.rma import Win
+from repro.scheduler.policy import SelfSchedPolicy
+
+_HEAD_MASK = (1 << 32) - 1
+
+#: guards first-touch creation of the per-runtime layout cache
+_CACHE_LOCK = threading.Lock()
+
+
+def pack_counters(head: int, tail: int) -> np.uint64:
+    """head in the low 32 bits, tail in the high 32 bits."""
+    return np.uint64((int(tail) << 32) | (int(head) & _HEAD_MASK))
+
+
+def unpack_counters(word: Any) -> Tuple[int, int]:
+    w = int(word)
+    return w & _HEAD_MASK, w >> 32
+
+
+def _policy_key(policy: SelfSchedPolicy) -> Tuple:
+    return (
+        type(policy).__name__,
+        getattr(policy, "k", None),
+        getattr(policy, "min_chunk", None),
+    )
+
+
+def node_layout(rt: Any, comm: Any) -> Dict[int, List[int]]:
+    """node id -> sorted comm ranks pinned there (cached per runtime:
+    at 8k+ tasks recomputing this per task would be O(n_tasks^2))."""
+    with _CACHE_LOCK:
+        cache = rt.__dict__.setdefault("_sched_layout_cache", {})
+        key = ("layout", comm.context)
+        hit = cache.get(key)
+        if hit is None:
+            nodes: Dict[int, List[int]] = {}
+            for r in range(comm.size):
+                nodes.setdefault(rt.node_of(comm.to_world(r)), []).append(r)
+            hit = dict(sorted(nodes.items()))
+            cache[key] = hit
+    return hit
+
+
+def node_chunk_tables(
+    rt: Any, comm: Any, n_iters: int, policy: SelfSchedPolicy
+) -> Tuple[Dict[int, List[int]], Dict[int, List[Tuple[int, int]]]]:
+    """Deterministic pure function of (machine, comm, n_iters, policy):
+    the per-node chunk tables every task -- and e.g. an assembling rank
+    0 that needs to know all chunk ranges -- can recompute identically.
+
+    The iteration space is split across nodes proportionally to their
+    task counts (exact, largest-remainder-free prefix arithmetic), then
+    each node's range is chunked by the policy for its local worker
+    count."""
+    layout = node_layout(rt, comm)
+    with _CACHE_LOCK:
+        cache = rt.__dict__.setdefault("_sched_layout_cache", {})
+        key = ("tables", comm.context, int(n_iters), _policy_key(policy))
+        hit = cache.get(key)
+        if hit is None:
+            total_tasks = comm.size
+            tables: Dict[int, List[Tuple[int, int]]] = {}
+            start = 0
+            seen_tasks = 0
+            for node, ranks in layout.items():
+                seen_tasks += len(ranks)
+                end = (int(n_iters) * seen_tasks) // total_tasks
+                tables[node] = [
+                    (lo + start, hi + start)
+                    for lo, hi in policy.chunks(end - start, len(ranks))
+                ]
+                start = end
+            hit = tables
+            cache[key] = hit
+    return layout, hit
+
+
+class ChunkQueue:
+    """One task's handle on a loop's per-node chunk queues.
+
+    Construction is collective over ``comm`` (it creates two RMA
+    windows); every task gets its own handle sharing the windows."""
+
+    def __init__(
+        self, ctx: Any, comm: Any, n_iters: int, policy: SelfSchedPolicy
+    ) -> None:
+        rt = ctx.runtime
+        self.runtime = rt
+        self.comm = comm
+        self.n_iters = int(n_iters)
+        self.policy = policy
+        self.node = rt.node_of(comm.to_world(comm.rank))
+        layout, tables = node_chunk_tables(rt, comm, n_iters, policy)
+        self.nodes: List[int] = list(layout)
+        self._tables = tables
+        self._leader = {node: ranks[0] for node, ranks in layout.items()}
+        self._n_chunks = {node: len(chks) for node, chks in tables.items()}
+        max_chunks = max(max(self._n_chunks.values(), default=0), 1)
+        # Extra descriptor rows beyond the initial tables: thieves
+        # donate stolen chunks back onto their own queue (see donate),
+        # and failed claims inflate the head past the tail, so the
+        # donated region starts at max(head, tail) and creeps upward.
+        self._capacity = 2 * max_chunks + 64
+        max_chunks = self._capacity
+
+        # Chunk descriptor table in HLS node-scoped storage: one copy
+        # per node where the address space allows sharing, a private
+        # (value-identical) copy per task otherwise (process backend).
+        # The program object itself must be shared across the loop's
+        # tasks (scope instances live inside one program), so rank 0
+        # builds it and publishes it by reference.
+        if comm.rank == 0:
+            prog: Optional[HLSProgram] = HLSProgram(
+                rt, enabled=rt.shared_node_address_space
+            )
+            prog.declare(
+                "sched_chunks", shape=(max_chunks, 2), dtype=np.int64,
+                scope="node",
+            )
+        else:
+            prog = None
+        prog = comm._coll.exchange(comm.rank, prog)[0]
+        self._prog = prog
+        # a direct handle: ctx.hls stays owned by the application's own
+        # HLS program (attach() would reuse it)
+        h = HLSHandle(self._prog, ctx)
+        if h.single_enter("sched_chunks"):
+            try:
+                table = h["sched_chunks"]
+                table[...] = -1
+                mine = tables[self.node]
+                if mine:
+                    table[: len(mine), :] = np.asarray(mine, dtype=np.int64)
+            finally:
+                h.single_done("sched_chunks")
+        self._table = h["sched_chunks"]
+
+        # Counters window: every rank exposes one packed uint64 word;
+        # only node-leader words are ever used.  The leader initialises
+        # its word before Win.create's trailing barrier publishes it.
+        counter = np.zeros(1, dtype=np.uint64)
+        if comm.rank == self._leader[self.node]:
+            counter[0] = pack_counters(0, self._n_chunks[self.node])
+        self._counter_buf = counter
+        self._cwin = Win.create(comm, counter)
+        # Descriptor window: leaders expose their node's table (a view
+        # into the HLS storage -- remote gets read the real thing).
+        if comm.rank == self._leader[self.node]:
+            flat = self._table.reshape(-1)
+        else:
+            flat = np.zeros(0, dtype=np.int64)
+        self._kwin = Win.create(comm, flat)
+        # Passive-target epochs for the whole loop.
+        self._cwin.lock_all()
+        self._kwin.lock_all()
+        self._closed = False
+
+    # ------------------------------------------------------------ protocol
+    def claim(self, node: Optional[int] = None) -> Optional[Tuple[int, int]]:
+        """Atomically claim the next chunk of ``node``'s queue (own node
+        by default); None when that queue is drained."""
+        node = self.node if node is None else node
+        self.runtime.checkpoint()
+        old = self._cwin.fetch_and_op(
+            np.uint64(1), target=self._leader[node]
+        )
+        head, tail = unpack_counters(old)
+        if head >= tail:
+            return None
+        return self._descriptor(node, head)
+
+    def steal(
+        self, victim: int, *, min_steal: int = 2
+    ) -> Tuple[List[Tuple[int, int]], int]:
+        """Try to steal half of ``victim``'s remaining chunks with one
+        CAS on the packed word.  Returns ``(chunks, remaining_seen)``;
+        an empty list means the victim was too poor or a concurrent
+        claim/steal invalidated the read (the caller picks another
+        victim)."""
+        leader = self._leader[victim]
+        self.runtime.checkpoint()
+        word = self._cwin.fetch_and_op(np.uint64(0), target=leader)
+        head, tail = unpack_counters(word)
+        remaining = tail - head
+        if remaining < max(min_steal, 1):
+            return [], max(remaining, 0)
+        k = remaining // 2
+        old = self._cwin.compare_and_swap(
+            word, pack_counters(head, tail - k), target=leader
+        )
+        if int(old) != int(word):
+            return [], max(remaining, 0)
+        return (
+            [self._descriptor(victim, i) for i in range(tail - k, tail)],
+            remaining,
+        )
+
+    def remaining(self, node: Optional[int] = None) -> int:
+        """Unclaimed chunks on ``node``'s queue (atomic snapshot)."""
+        node = self.node if node is None else node
+        word = self._cwin.fetch_and_op(
+            np.uint64(0), target=self._leader[node]
+        )
+        head, tail = unpack_counters(word)
+        return max(tail - head, 0)
+
+    def donate(self, chunks: List[Tuple[int, int]]) -> bool:
+        """Re-expose ``chunks`` on this task's *own* node queue so peers
+        (and further thieves) can claim them -- the re-share step that
+        keeps a thief's stolen batch from becoming a private stash no
+        one can balance against.
+
+        The descriptors are put into the leader's table beyond both
+        counters, then one CAS pushes the tail over them; a concurrent
+        claim moves the head and fails the CAS, and the unexposed rows
+        are simply rewritten at the new base on retry.  Returns False
+        (caller keeps the chunks) when the descriptor capacity is
+        exhausted."""
+        if not chunks:
+            return True
+        leader = self._leader[self.node]
+        desc = np.asarray(chunks, dtype=np.int64).reshape(-1)
+        while True:
+            self.runtime.checkpoint()
+            word = self._cwin.fetch_and_op(np.uint64(0), target=leader)
+            head, tail = unpack_counters(word)
+            base = max(head, tail)
+            if base + len(chunks) > self._capacity:
+                return False
+            self._kwin.put(desc, leader, target_disp=2 * base)
+            old = self._cwin.compare_and_swap(
+                word, pack_counters(head, base + len(chunks)), target=leader
+            )
+            if int(old) == int(word):
+                return True
+
+    def _descriptor(self, node: int, idx: int) -> Tuple[int, int]:
+        # own-node reads hit the local HLS table only for the initial
+        # rows: donated rows live in the leader's exposed copy, which is
+        # the same storage only when the node address space is shared
+        if node == self.node and idx < self._n_chunks[node]:
+            row = self._table[idx]
+            return int(row[0]), int(row[1])
+        pair = self._kwin.get(
+            self._leader[node], count=2, target_disp=2 * idx
+        )
+        return int(pair[0]), int(pair[1])
+
+    # ------------------------------------------------------------- cleanup
+    def close(self) -> None:
+        """Collective: close epochs and free both windows."""
+        if self._closed:
+            return
+        self._closed = True
+        self._cwin.unlock_all()
+        self._kwin.unlock_all()
+        self._cwin.free()
+        self._kwin.free()
+
+
+__all__ = [
+    "ChunkQueue",
+    "node_chunk_tables",
+    "node_layout",
+    "pack_counters",
+    "unpack_counters",
+]

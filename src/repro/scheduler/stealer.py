@@ -1,0 +1,50 @@
+"""Victim selection for cross-node work stealing.
+
+A :class:`WorkStealer` wraps one task's :class:`~repro.scheduler.queue.
+ChunkQueue` handle with a victim order: the first pass is a seeded
+random permutation of the other nodes (decorrelates thieves that drain
+simultaneously), and once load observations exist the order becomes
+richest-first -- a cheap load gossip piggybacked on the counters the
+protocol already reads: every steal attempt sees the victim's packed
+head/tail word, and the observed remaining counts are cached and reused
+to rank victims, no extra messages.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.scheduler.queue import ChunkQueue
+
+
+class WorkStealer:
+    """Per-task victim picker over a chunk queue's node set."""
+
+    def __init__(self, queue: ChunkQueue, *, seed: int = 0) -> None:
+        self.queue = queue
+        rank = queue.comm.rank
+        self._rng = random.Random((int(seed) << 20) ^ (0x5EED ^ rank))
+        others = [n for n in queue.nodes if n != queue.node]
+        self._rng.shuffle(others)
+        #: randomized base order (also the tie-break once gossip exists)
+        self._order: List[int] = others
+        #: node -> last observed remaining chunks (the gossip cache)
+        self._seen: Dict[int, int] = {}
+
+    def observe(self, node: int, remaining: int) -> None:
+        self._seen[node] = int(remaining)
+
+    def victims(self) -> List[int]:
+        """Victim order for one steal round: randomized until any load
+        has been observed, then richest-first (stale observations and
+        never-seen nodes fall back to the randomized order)."""
+        if not self._seen:
+            return list(self._order)
+        pos = {n: i for i, n in enumerate(self._order)}
+        return sorted(
+            self._order, key=lambda n: (-self._seen.get(n, 0), pos[n])
+        )
+
+
+__all__ = ["WorkStealer"]

@@ -1,0 +1,209 @@
+"""Unit tests for the single-element RMA atomics (``Win.fetch_and_op``
+and ``Win.compare_and_swap``) and the shared read-modify-write core
+they sit on with ``accumulate``: old-value semantics, atomicity under
+contention, epoch discipline, and metrics counters -- on all three
+backends (threads, coop, process)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import core2_cluster
+from repro.runtime import (
+    MPIError,
+    ProcessRuntime,
+    RMAEpochError,
+    Runtime,
+    SUM,
+    Win,
+)
+
+N = 4
+TIMEOUT = 10.0
+
+RUNTIMES = {
+    "thread-private": lambda: Runtime(
+        core2_cluster(1), n_tasks=N, timeout=TIMEOUT, sharing="private"),
+    "thread-shared": lambda: Runtime(
+        core2_cluster(1), n_tasks=N, timeout=TIMEOUT, sharing="shared"),
+    "coop": lambda: Runtime(
+        core2_cluster(1), n_tasks=N, timeout=TIMEOUT, backend="coop",
+        schedule="random:11"),
+    "process": lambda: ProcessRuntime(
+        core2_cluster(1), n_tasks=N, timeout=TIMEOUT),
+}
+
+runtime_param = pytest.mark.parametrize(
+    "factory", RUNTIMES.values(), ids=RUNTIMES.keys())
+
+
+# ------------------------------------------------------------ fetch_and_op
+@runtime_param
+def test_fetch_and_op_returns_distinct_old_values(factory):
+    """Concurrent fetch-and-adds on one word each observe a distinct
+    old value: the definition of an atomic counter."""
+    def main(ctx):
+        c = ctx.comm_world
+        win = Win.create(c, np.zeros(1, dtype=np.uint64))
+        win.lock_all()
+        old = int(win.fetch_and_op(np.uint64(1), target=0))
+        c.barrier()
+        final = int(win.fetch_and_op(np.uint64(0), target=0))
+        win.unlock_all()
+        win.free()
+        return old, final
+
+    res = factory().run(main)
+    assert sorted(r[0] for r in res) == list(range(N))
+    assert {r[1] for r in res} == {N}
+
+
+@runtime_param
+def test_fetch_and_op_with_custom_op(factory):
+    """The op argument is honoured (MAX keeps the largest rank+1)."""
+    from repro.runtime import MAX
+
+    def main(ctx):
+        c = ctx.comm_world
+        win = Win.create(c, np.zeros(1, dtype=np.int64))
+        win.fence()
+        win.fetch_and_op(np.int64(ctx.rank + 1), target=0, op=MAX)
+        win.fence()
+        out = int(win.get(0)[0])
+        win.fence_end()
+        win.free()
+        return out
+
+    assert factory().run(main) == [N] * N
+
+
+def test_fetch_and_op_rejects_multi_element():
+    def main(ctx):
+        win = Win.allocate(ctx.comm_world, 4)
+        win.fence()
+        with pytest.raises(MPIError):
+            win.fetch_and_op(np.zeros(2), target=0)
+        win.fence_end()
+        win.free()
+        return True
+
+    assert all(RUNTIMES["thread-private"]().run(main))
+
+
+# -------------------------------------------------------- compare_and_swap
+@runtime_param
+def test_compare_and_swap_single_winner(factory):
+    """All ranks CAS the same expected value: exactly one succeeds and
+    every loser observes a value it did not write."""
+    def main(ctx):
+        c = ctx.comm_world
+        win = Win.create(c, np.full(1, 7, dtype=np.int64))
+        win.lock_all()
+        old = int(win.compare_and_swap(
+            np.int64(7), np.int64(100 + ctx.rank), target=0))
+        c.barrier()
+        final = int(win.fetch_and_op(np.int64(0), target=0))
+        win.unlock_all()
+        win.free()
+        return old, final
+
+    res = factory().run(main)
+    winners = [i for i, (old, _) in enumerate(res) if old == 7]
+    assert len(winners) == 1
+    assert all(final == 100 + winners[0] for _, final in res)
+
+
+@runtime_param
+def test_compare_and_swap_mismatch_leaves_target(factory):
+    def main(ctx):
+        win = Win.create(ctx.comm_world, np.full(1, 5, dtype=np.int64))
+        win.fence()
+        old = int(win.compare_and_swap(np.int64(99), np.int64(1), target=0))
+        win.fence()
+        now = int(win.get(0)[0])
+        win.fence_end()
+        win.free()
+        return old, now
+
+    assert factory().run(main) == [(5, 5)] * N
+
+
+def test_compare_and_swap_rejects_multi_element():
+    def main(ctx):
+        win = Win.allocate(ctx.comm_world, 4)
+        win.fence()
+        with pytest.raises(MPIError):
+            win.compare_and_swap(np.zeros(1), np.zeros(3), target=0)
+        win.fence_end()
+        win.free()
+        return True
+
+    assert all(RUNTIMES["thread-private"]().run(main))
+
+
+# ------------------------------------------------- shared RMW core / epochs
+@pytest.mark.parametrize("op_call", ["fetch_and_op", "compare_and_swap"])
+def test_atomics_outside_epoch_raise(op_call):
+    """The atomics share accumulate's epoch discipline: use outside any
+    synchronisation epoch is an online RMAEpochError."""
+    def main(ctx):
+        win = Win.allocate(ctx.comm_world, 1)
+        try:
+            with pytest.raises(RMAEpochError):
+                if op_call == "fetch_and_op":
+                    win.fetch_and_op(np.float64(1.0), target=0)
+                else:
+                    win.compare_and_swap(
+                        np.float64(0.0), np.float64(1.0), target=0)
+        finally:
+            win.free()
+        return True
+
+    assert all(RUNTIMES["thread-private"]().run(main))
+
+
+@runtime_param
+def test_atomics_mix_with_accumulate(factory):
+    """accumulate and fetch_and_op serialise through the same data
+    lock: a mixed barrage still sums exactly."""
+    def main(ctx):
+        c = ctx.comm_world
+        win = Win.create(c, np.zeros(1, dtype=np.float64))
+        win.lock_all()
+        for i in range(8):
+            if (i + ctx.rank) % 2:
+                win.accumulate(np.ones(1), target=0, op=SUM)
+            else:
+                win.fetch_and_op(np.float64(1.0), target=0)
+        c.barrier()
+        total = float(win.fetch_and_op(np.float64(0.0), target=0))
+        win.unlock_all()
+        win.free()
+        return total
+
+    res = factory().run(main)
+    assert {r for r in res} == {float(8 * N)}
+
+
+@runtime_param
+def test_atomics_metrics_counters(factory):
+    """rma_metrics counts the new atomics separately and in ops."""
+    def main(ctx):
+        c = ctx.comm_world
+        win = Win.create(c, np.zeros(1, dtype=np.int64))
+        win.fence()
+        win.fetch_and_op(np.int64(1), target=0)
+        win.fetch_and_op(np.int64(1), target=0)
+        win.compare_and_swap(np.int64(0), np.int64(1), target=0)
+        win.fence_end()
+        win.free()
+        return True
+
+    rt = factory()
+    assert all(rt.run(main))
+    m = rt.rma_metrics()
+    assert m.fetch_and_ops == 2 * N
+    assert m.compare_and_swaps == N
+    assert m.ops >= 3 * N
+    snap = m.snapshot()
+    assert snap["fetch_and_ops"] == 2 * N
+    assert snap["compare_and_swaps"] == N
