@@ -30,6 +30,7 @@ where wall-clock busy time is noisy.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -57,10 +58,18 @@ def _cov(values: List[float]) -> float:
 
 
 def policy_spec(policy: SelfSchedPolicy) -> str:
-    arg = getattr(policy, "k", None)
-    if arg is None:
-        arg = getattr(policy, "min_chunk", None)
-    return policy.name if arg in (None, 1, 4) else f"{policy.name}:{arg}"
+    """``name[:arg]``: the arg is printed whenever it differs from that
+    policy class's *own* constructor default, so e.g. ``fixed:1`` (pure
+    self-scheduling) is never conflated with the default ``fixed:4``
+    and a non-default ``guided:4`` keeps its min_chunk in reports."""
+    for attr in ("k", "min_chunk"):
+        arg = getattr(policy, attr, None)
+        if arg is None:
+            continue
+        param = inspect.signature(type(policy).__init__).parameters.get(attr)
+        default = param.default if param is not None else inspect.Parameter.empty
+        return policy.name if arg == default else f"{policy.name}:{arg}"
+    return policy.name
 
 
 @dataclass

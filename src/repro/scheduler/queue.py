@@ -10,10 +10,13 @@ per-node queues:
   descriptors with ``Win.get``;
 * the **head/tail counters** of each node are packed into a single
   ``uint64`` word (head in the low 32 bits, tail in the high 32 bits)
-  in a second RMA window.
+  in a second RMA window, next to a **donation allocation cursor**
+  word.
 
-The packing is what makes the protocol race-free with exactly the two
-atomics the runtime provides:
+The protocol's core invariant: a descriptor row is written at most
+once, *before* the packed word ever exposes it (``row < tail``), and
+never rewritten -- so an exposed row may be read by anyone without
+further synchronisation.  Three operations move the counters:
 
 * a local (or remote) **claim** is one ``fetch_and_op(+1)`` on the
   packed word -- it increments the head and returns the old word, so
@@ -21,16 +24,27 @@ atomics the runtime provides:
   must beat, in one atomic read-modify-write.  The claim is valid iff
   ``head < tail``; a failed claim merely leaves the head inflated past
   the tail, which every consumer treats as "drained".
-* a **steal** takes half the victim's remaining chunks with a single
-  ``compare_and_swap`` that rewrites the tail half of the word.  The
-  expected value includes the head half, so *any* interleaved claim
-  (which moves the head) fails the CAS and the thief retries elsewhere
-  -- no chunk can be both claimed locally and stolen.
+* a **steal** takes half the victim's remaining chunks off the *head*
+  end: the thief first copies rows ``[head, head+k)`` (safe -- exposed
+  rows are immutable), then publishes the theft with one
+  ``compare_and_swap`` moving the head to ``head+k``.  Any interleaved
+  claim moves the head and fails the CAS, so no chunk can be both
+  claimed and stolen; and because the copy precedes the CAS, the thief
+  never reads a row after giving anyone else a reason to touch it.
+* a **donation** re-exposes chunks in three steps: reserve fresh rows
+  ``[b, b+n)`` with a bounded CAS on the allocation cursor (which only
+  ever grows and is never reused, so two donors can never write the
+  same rows); put the descriptors; then expose them by CASing the tail
+  from exactly ``b`` to ``b+n``.  Donors thus expose in reservation
+  order and the tail never covers an unwritten row.  A head inflated
+  past the tail by failed claims is reset to ``b`` in the same CAS, so
+  donated work cannot hide behind the inflation.
 
 Exactly-once then follows: fetch-and-add hands out distinct head
-values below the observed tail, CAS serialises every tail movement,
-and a successful steal's new tail never drops below the head it
-validated against.
+values below the observed tail, every tail movement is a serialised
+CAS, and no counter word can recur (the tail is strictly monotonic;
+the head only drops in a donation's expose, which also grows the
+tail), so no CAS can succeed against stale state (no ABA).
 """
 
 from __future__ import annotations
@@ -42,10 +56,16 @@ import numpy as np
 
 from repro.hls import HLSProgram
 from repro.hls.program import HLSHandle
+from repro.runtime.abort import note_abort
+from repro.runtime.errors import AbortError, DeadlockError
 from repro.runtime.rma import Win
 from repro.scheduler.policy import SelfSchedPolicy
 
 _HEAD_MASK = (1 << 32) - 1
+
+#: element displacements in the per-leader counters window
+_WORD = 0       # packed head/tail
+_ALLOC = 1      # donation allocation cursor (monotonic, never reused)
 
 #: guards first-touch creation of the per-runtime layout cache
 _CACHE_LOCK = threading.Lock()
@@ -140,12 +160,11 @@ class ChunkQueue:
         self._leader = {node: ranks[0] for node, ranks in layout.items()}
         self._n_chunks = {node: len(chks) for node, chks in tables.items()}
         max_chunks = max(max(self._n_chunks.values(), default=0), 1)
-        # Extra descriptor rows beyond the initial tables: thieves
-        # donate stolen chunks back onto their own queue (see donate),
-        # and failed claims inflate the head past the tail, so the
-        # donated region starts at max(head, tail) and creeps upward.
-        self._capacity = 2 * max_chunks + 64
-        max_chunks = self._capacity
+        # Extra descriptor rows beyond the initial tables hold
+        # donations (see donate): rows are handed out by a monotonic
+        # allocation cursor and never reused, so generous slack keeps
+        # late donations succeeding (2 int64 per row -- cheap).
+        self._capacity = 4 * max_chunks + 64
 
         # Chunk descriptor table in HLS node-scoped storage: one copy
         # per node where the address space allows sharing, a private
@@ -158,7 +177,7 @@ class ChunkQueue:
                 rt, enabled=rt.shared_node_address_space
             )
             prog.declare(
-                "sched_chunks", shape=(max_chunks, 2), dtype=np.int64,
+                "sched_chunks", shape=(self._capacity, 2), dtype=np.int64,
                 scope="node",
             )
         else:
@@ -168,23 +187,31 @@ class ChunkQueue:
         # a direct handle: ctx.hls stays owned by the application's own
         # HLS program (attach() would reuse it)
         h = HLSHandle(self._prog, ctx)
-        if h.single_enter("sched_chunks"):
-            try:
-                table = h["sched_chunks"]
-                table[...] = -1
-                mine = tables[self.node]
-                if mine:
-                    table[: len(mine), :] = np.asarray(mine, dtype=np.int64)
-            finally:
-                h.single_done("sched_chunks")
-        self._table = h["sched_chunks"]
+        table = h["sched_chunks"]
+        # Fill the initial rows WITHOUT an HLS ``single``: a node-scoped
+        # single barriers every runtime task pinned to the node, but
+        # only members of ``comm`` construct this queue, so any
+        # sub-communicator would hang against the node's other tasks.
+        # Instead comm's node-leader rank fills the node's shared copy
+        # (every task fills its own private, value-identical copy when
+        # the address space is not shared), and the collective
+        # Win.create barriers below publish the rows before any task's
+        # first claim.
+        if not self._prog.enabled or comm.rank == self._leader[self.node]:
+            table[...] = -1
+            mine = tables[self.node]
+            if mine:
+                table[: len(mine), :] = np.asarray(mine, dtype=np.int64)
+        self._table = table
 
-        # Counters window: every rank exposes one packed uint64 word;
+        # Counters window: every rank exposes two uint64 words -- the
+        # packed head/tail word and the donation allocation cursor;
         # only node-leader words are ever used.  The leader initialises
-        # its word before Win.create's trailing barrier publishes it.
-        counter = np.zeros(1, dtype=np.uint64)
+        # its words before Win.create's trailing barrier publishes them.
+        counter = np.zeros(2, dtype=np.uint64)
         if comm.rank == self._leader[self.node]:
-            counter[0] = pack_counters(0, self._n_chunks[self.node])
+            counter[_WORD] = pack_counters(0, self._n_chunks[self.node])
+            counter[_ALLOC] = np.uint64(self._n_chunks[self.node])
         self._counter_buf = counter
         self._cwin = Win.create(comm, counter)
         # Descriptor window: leaders expose their node's table (a view
@@ -216,11 +243,11 @@ class ChunkQueue:
     def steal(
         self, victim: int, *, min_steal: int = 2
     ) -> Tuple[List[Tuple[int, int]], int]:
-        """Try to steal half of ``victim``'s remaining chunks with one
-        CAS on the packed word.  Returns ``(chunks, remaining_seen)``;
-        an empty list means the victim was too poor or a concurrent
-        claim/steal invalidated the read (the caller picks another
-        victim)."""
+        """Try to steal half of ``victim``'s remaining chunks off the
+        head end with one CAS on the packed word.  Returns ``(chunks,
+        remaining_seen)``; an empty list means the victim was too poor
+        or a concurrent claim/steal invalidated the read (the caller
+        picks another victim)."""
         leader = self._leader[victim]
         self.runtime.checkpoint()
         word = self._cwin.fetch_and_op(np.uint64(0), target=leader)
@@ -229,13 +256,19 @@ class ChunkQueue:
         if remaining < max(min_steal, 1):
             return [], max(remaining, 0)
         k = remaining // 2
+        # Copy the descriptors BEFORE the CAS: rows below the tail are
+        # immutable once exposed, so the copy cannot tear, and nothing
+        # is ever read from the table after the theft is published --
+        # a concurrent donation can never clobber what the thief runs.
+        # If the CAS loses, the copies are simply discarded.
+        rows = self._kwin.get(leader, count=2 * k, target_disp=2 * head)
         old = self._cwin.compare_and_swap(
-            word, pack_counters(head, tail - k), target=leader
+            word, pack_counters(head + k, tail), target=leader
         )
         if int(old) != int(word):
             return [], max(remaining, 0)
         return (
-            [self._descriptor(victim, i) for i in range(tail - k, tail)],
+            [(int(rows[2 * i]), int(rows[2 * i + 1])) for i in range(k)],
             remaining,
         )
 
@@ -254,29 +287,66 @@ class ChunkQueue:
         keeps a thief's stolen batch from becoming a private stash no
         one can balance against.
 
-        The descriptors are put into the leader's table beyond both
-        counters, then one CAS pushes the tail over them; a concurrent
-        claim moves the head and fails the CAS, and the unexposed rows
-        are simply rewritten at the new base on retry.  Returns False
-        (caller keeps the chunks) when the descriptor capacity is
-        exhausted."""
+        Three steps keep descriptor publication atomic with counter
+        movement: (1) reserve fresh rows with a bounded CAS on the
+        allocation cursor, which only ever grows -- so no two donors
+        (nor a donor and the rows a thief has copied) can ever share
+        rows; (2) put the descriptors into the still-unexposed rows;
+        (3) expose them by CASing the tail from exactly the reserved
+        base, so donors expose in reservation order and the tail never
+        covers an unwritten row.  Returns False (caller keeps the
+        chunks) when the descriptor capacity is exhausted."""
         if not chunks:
             return True
         leader = self._leader[self.node]
+        n = len(chunks)
         desc = np.asarray(chunks, dtype=np.int64).reshape(-1)
+        guard = self._spin_guard("sched donate")
         while True:
-            self.runtime.checkpoint()
+            guard()
+            alloc = int(self._cwin.fetch_and_op(
+                np.uint64(0), target=leader, target_disp=_ALLOC
+            ))
+            if alloc + n > self._capacity:
+                return False
+            old = self._cwin.compare_and_swap(
+                np.uint64(alloc), np.uint64(alloc + n),
+                target=leader, target_disp=_ALLOC,
+            )
+            if int(old) == alloc:
+                base = alloc
+                break
+        self._kwin.put(desc, leader, target_disp=2 * base)
+        while True:
+            guard()
             word = self._cwin.fetch_and_op(np.uint64(0), target=leader)
             head, tail = unpack_counters(word)
-            base = max(head, tail)
-            if base + len(chunks) > self._capacity:
-                return False
-            self._kwin.put(desc, leader, target_disp=2 * base)
+            if tail != base:
+                continue    # an earlier reservation is not yet exposed
+            # a head inflated past the tail by failed claims is reset
+            # to base here, so the donated chunks stay claimable
             old = self._cwin.compare_and_swap(
-                word, pack_counters(head, base + len(chunks)), target=leader
+                word, pack_counters(min(head, base), base + n),
+                target=leader,
             )
             if int(old) == int(word):
                 return True
+
+    def _spin_guard(self, what: str) -> Any:
+        """Abort- and deadline-aware tick for the donate retry loops
+        (a cooperative scheduling point plus the runtime's watchdog)."""
+        rt = self.runtime
+        deadline = rt.now() + rt.timeout
+        def tick() -> None:
+            rt.checkpoint()
+            if rt.abort_flag.is_set():
+                note_abort(rt.abort_flag)
+                raise AbortError(f"job aborted during {what}")
+            if rt.now() >= deadline:
+                raise DeadlockError(
+                    f"{what} timed out after {rt.timeout}s"
+                )
+        return tick
 
     def _descriptor(self, node: int, idx: int) -> Tuple[int, int]:
         # own-node reads hit the local HLS table only for the initial

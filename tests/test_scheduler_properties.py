@@ -154,6 +154,98 @@ def test_soft_faults_at_sched_sites_preserve_exactly_once(seed, policy,
     assert (hits.sum(axis=0) == 1).all()
 
 
+# ------------------------------------------------------------- regressions
+@pytest.mark.parametrize("backend", ["threads", "coop", "process"])
+def test_concurrent_donations_claimed_exactly_once(backend):
+    """Regression for the donate/steal descriptor race: donation rows
+    come from a monotonic allocation cursor that is never reused, so
+    concurrent donors (and donors racing a thief's exposed rows) can
+    never write rows another party reads.  Every donated chunk must be
+    claimed exactly once, none lost, none duplicated."""
+    from repro.scheduler.queue import ChunkQueue
+
+    per_task = 5
+
+    def main(ctx):
+        c = ctx.comm_world
+        q = ChunkQueue(ctx, c, 0, make_policy("fixed:1"))
+        mine = [(ctx.rank * per_task + i, ctx.rank * per_task + i + 1)
+                for i in range(per_task)]
+        ok = q.donate(mine)
+        c.barrier()
+        got = []
+        for node in q.nodes:
+            while True:
+                chunk = q.claim(node)
+                if chunk is None:
+                    break
+                got.append(chunk)
+        c.barrier()
+        q.close()
+        return ok, got
+
+    factories = {
+        "threads": lambda: Runtime(core2_cluster(N_NODES), n_tasks=N_TASKS,
+                                   timeout=TIMEOUT),
+        "coop": lambda: coop_rt(7),
+        "process": lambda: ProcessRuntime(core2_cluster(N_NODES),
+                                          n_tasks=N_TASKS, timeout=TIMEOUT),
+    }
+    res = factories[backend]().run(main)
+    assert all(ok for ok, _ in res)
+    claimed = sorted(ch for _, got in res for ch in got)
+    expected = sorted(
+        (r * per_task + i, r * per_task + i + 1)
+        for r in range(N_TASKS) for i in range(per_task)
+    )
+    assert claimed == expected
+
+
+def test_dynamic_for_on_subcommunicator():
+    """Regression: the queue's descriptor fill used an HLS node-scope
+    ``single`` whose barrier waits for *every* runtime task on the
+    node, so a ``dynamic_for`` over any sub-communicator hung on
+    shared-address-space runtimes.  An even/odd split puts only half
+    of each node's tasks in each communicator."""
+    n_iters = 40
+    hits = np.zeros((N_TASKS, n_iters), dtype=np.int64)
+
+    def main(ctx):
+        c = ctx.comm_world
+        color = c.rank % 2
+        sub = c.split(color, c.rank)
+
+        def body(lo, hi):
+            hits[ctx.rank, lo:hi] += 1
+
+        stats = dynamic_for(ctx, n_iters, body, comm=sub,
+                            policy="fixed:3", label=f"half{color}")
+        return stats.iterations
+
+    rt = Runtime(core2_cluster(N_NODES), n_tasks=N_TASKS, timeout=10.0,
+                 sharing="shared")
+    rt.run(main)
+    # each half executes the full loop once: every iteration hit twice
+    assert (hits.sum(axis=0) == 2).all()
+
+
+def test_policy_spec_reports_non_default_args():
+    """``policy_spec`` compares against each policy class's own
+    constructor default: ``fixed:1`` (pure self-scheduling) must not
+    collapse into the default ``fixed`` (k=4), and a non-default
+    ``guided:4`` keeps its min_chunk in loop reports."""
+    from repro.scheduler import policy_spec
+
+    assert policy_spec(make_policy("static")) == "static"
+    assert policy_spec(make_policy("fixed")) == "fixed"
+    assert policy_spec(make_policy("fixed:4")) == "fixed"
+    assert policy_spec(make_policy("fixed:1")) == "fixed:1"
+    assert policy_spec(make_policy("guided")) == "guided"
+    assert policy_spec(make_policy("guided:1")) == "guided"
+    assert policy_spec(make_policy("guided:4")) == "guided:4"
+    assert policy_spec(make_policy("factoring:4")) == "factoring:4"
+
+
 # ------------------------------------------------------- atomic primitives
 @settings(max_examples=8, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
