@@ -24,13 +24,15 @@ import pytest
 _ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
 #: per-artifact measurement queues, drained at session end
-_QUEUES = {"p2p": [], "rma": [], "memory": [], "sched": [], "loadbalance": []}
+_QUEUES = {"p2p": [], "rma": [], "memory": [], "sched": [],
+           "loadbalance": [], "storage": []}
 _PATHS = {
     "p2p": os.path.join(_ROOT, "BENCH_p2p.json"),
     "rma": os.path.join(_ROOT, "BENCH_rma.json"),
     "memory": os.path.join(_ROOT, "BENCH_memory.json"),
     "sched": os.path.join(_ROOT, "BENCH_sched.json"),
     "loadbalance": os.path.join(_ROOT, "BENCH_loadbalance.json"),
+    "storage": os.path.join(_ROOT, "BENCH_storage.json"),
 }
 
 
@@ -67,6 +69,13 @@ def record_loadbalance(name, **fields):
     traffic, wall time vs the static oracle) for the
     BENCH_loadbalance.json trajectory."""
     _QUEUES["loadbalance"].append({"name": name, **fields})
+
+
+def record_storage(name, **fields):
+    """Queue one out-of-core measurement (spill/fault traffic, paging
+    overhead vs in-memory at each capacity ratio) for the
+    BENCH_storage.json trajectory."""
+    _QUEUES["storage"].append({"name": name, **fields})
 
 
 def _append_trajectory(path, results):

@@ -48,6 +48,13 @@ SITES: Dict[str, Tuple[str, ...]] = {
     # fetch-and-add and before a steal's tail compare-and-swap
     "sched.claim": ("delay", "crash", "wake"),
     "sched.steal": ("delay", "crash", "wake"),
+    # chunk stores (repro.storage): before a chunk read, before a chunk
+    # (spill/flush) write, and before a manifest commit -- the commit is
+    # atomic on disk, so a crash at storage.flush leaves the previous
+    # checkpoint intact (what the chaos restart battery asserts)
+    "storage.read": ("delay", "crash", "wake"),
+    "storage.write": ("delay", "crash", "wake"),
+    "storage.flush": ("delay", "crash", "wake"),
 }
 
 #: all actions any site understands

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
-from repro.memsim.address_space import AddressSpace
+from repro.memsim.address_space import AddressSpace, AddressSpaceExhausted, Allocation
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.scopes import ScopeInstance
@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
 #: (``Allocation.kind``): application data, runtime comm buffers and
 #: pools, HLS module images / shared-segment heap, RMA windows and
 #: mirrors, legacy comm tag, and §VI baseline registrations.
-KINDS = ("app", "runtime", "hls", "rma", "comm", "baseline")
+KINDS = ("app", "runtime", "hls", "rma", "comm", "baseline", "storage")
 
 #: hierarchy-level buckets an arena can be accounted under.  Scope
 #: arenas use the paper's four levels (cache levels spelled out, e.g.
@@ -59,6 +59,25 @@ class Arena(AddressSpace):
         #: owning task rank, for per-task arenas (its node may change
         #: when the task migrates)
         self.owner_task = owner_task
+        #: spill policy: an object with ``reclaim(arena, need) -> int``
+        #: (bytes freed), consulted when an allocation overruns the
+        #: arena's live-bytes *capacity* (never the address-range
+        #: ``limit`` -- bump addresses are not recycled, so only
+        #: resident-byte pressure is recoverable)
+        self.spiller = None
+
+    def alloc(self, size: int, **kw) -> Allocation:
+        while True:
+            try:
+                return super().alloc(size, **kw)
+            except AddressSpaceExhausted as exc:
+                spiller = self.spiller
+                if (
+                    spiller is None
+                    or getattr(exc, "reason", "limit") != "capacity"
+                    or spiller.reclaim(self, size) <= 0
+                ):
+                    raise
 
     def home_node(self, runtime) -> Optional[int]:
         """The node this arena's bytes count against right now."""

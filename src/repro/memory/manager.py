@@ -108,6 +108,7 @@ class MemoryManager:
         self.registry = registry if registry is not None else BaseAddressRegistry()
         self._arenas: Dict[Tuple, Arena] = {}
         self._lock = threading.Lock()
+        self._spiller = None
 
     # ------------------------------------------------------------- factories
     def _materialise(self, key: Tuple, make) -> Arena:
@@ -115,8 +116,33 @@ class MemoryManager:
             arena = self._arenas.get(key)
             if arena is None:
                 arena = make()
+                arena.spiller = self._spiller
                 self._arenas[key] = arena
             return arena
+
+    def set_spiller(self, spiller) -> None:
+        """Install the storage spill policy on every arena, existing and
+        future (see :class:`repro.storage.residency.SpillManager`)."""
+        with self._lock:
+            self._spiller = spiller
+            for arena in self._arenas.values():
+                arena.spiller = spiller
+
+    def cap_node(self, node: int, budget: int) -> Arena:
+        """Bound a node arena's *additional* live bytes to ``budget``
+        (on top of whatever is already resident -- the runtime's comm
+        pools are charged at init).  Past the cap, allocations spill
+        cold storage chunks instead of raising.  Returns the arena."""
+        arena = self.node_arena(node)
+        arena.set_capacity(arena.live_bytes + int(budget))
+        return arena
+
+    def cap_task(self, rank: int, budget: int) -> Arena:
+        """Like :meth:`cap_node`, for a task's private arena (the
+        process backend's address space)."""
+        arena = self.task_arena(rank)
+        arena.set_capacity(arena.live_bytes + int(budget))
+        return arena
 
     def scope_arena(self, inst: ScopeInstance) -> Arena:
         """The arena backing one scope instance (lazily created).
@@ -223,7 +249,7 @@ class MemoryManager:
 
     # ---------------------------------------------------------------- leaks
     def leak_report(
-        self, kinds: Tuple[str, ...] = ("runtime", "hls", "rma")
+        self, kinds: Tuple[str, ...] = ("runtime", "hls", "rma", "storage")
     ) -> LeakReport:
         """Everything still live of the given kinds -- the shutdown-time
         report ``Runtime.finalize`` returns."""

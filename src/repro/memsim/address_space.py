@@ -23,14 +23,21 @@ PAGE_SIZE = 4096
 
 
 class AddressSpaceExhausted(MemoryError):
-    """A bounded address space ran past its ``limit``.
+    """A bounded address space ran past its ``limit`` or ``capacity``.
 
     Raised by :meth:`AddressSpace.alloc` when the space was carved out
     of a fixed region by the base-address registry
     (:mod:`repro.memory`) and the bump pointer would cross the region
     end -- allocations from distinct regions must stay provably
     disjoint, so overflowing into the neighbour is an error, never a
-    silent wrap."""
+    silent wrap -- or when a live-bytes ``capacity`` budget would be
+    exceeded.  ``reason`` distinguishes the two: only ``"capacity"``
+    exhaustion is recoverable by freeing (spilling) live allocations,
+    because bump addresses are never recycled."""
+
+    def __init__(self, message: str, *, reason: str = "limit") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 @dataclass(frozen=True)
@@ -70,12 +77,14 @@ class AddressSpace:
         base: int = 1 << 32,
         name: str = "as",
         limit: Optional[int] = None,
+        capacity: Optional[int] = None,
     ) -> None:
         if limit is not None and limit <= base:
             raise ValueError(f"limit {limit:#x} must exceed base {base:#x}")
         self.name = name
         self._base = base
         self._limit = limit
+        self._capacity = capacity
         self._next = base
         self._live: Dict[int, Allocation] = {}
         # Bump allocation never recycles addresses, so allocation start
@@ -94,6 +103,27 @@ class AddressSpace:
     @property
     def limit(self) -> Optional[int]:
         return self._limit
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Live-bytes budget, or None for unbounded.
+
+        Distinct from ``limit``: the limit bounds the *address range*
+        (addresses are never recycled, so the bump pointer only grows),
+        while the capacity bounds the *resident* bytes and can be
+        relieved by freeing allocations -- which is what lets the
+        storage spiller page cold chunks out instead of dying."""
+        with self._lock:
+            return self._capacity
+
+    def set_capacity(self, capacity: Optional[int]) -> None:
+        with self._lock:
+            if capacity is not None and capacity < self._live_bytes:
+                raise ValueError(
+                    f"{self.name}: capacity {capacity}B is below current "
+                    f"live bytes {self._live_bytes}B"
+                )
+            self._capacity = capacity
 
     # ------------------------------------------------------------------ alloc
     def alloc(
@@ -115,7 +145,18 @@ class AddressSpace:
             if self._limit is not None and addr + size > self._limit:
                 raise AddressSpaceExhausted(
                     f"{self.name}: allocation of {size}B at {addr:#x} "
-                    f"exceeds the region limit {self._limit:#x}"
+                    f"exceeds the region limit {self._limit:#x}",
+                    reason="limit",
+                )
+            if (
+                self._capacity is not None
+                and self._live_bytes + size > self._capacity
+            ):
+                raise AddressSpaceExhausted(
+                    f"{self.name}: allocation of {size}B would raise live "
+                    f"bytes past the capacity budget {self._capacity}B "
+                    f"({self._live_bytes}B resident)",
+                    reason="capacity",
                 )
             self._next = addr + size
             rec = Allocation(addr=addr, size=size, label=label, kind=kind, owner=owner)

@@ -7,6 +7,7 @@ from repro.metrics.loadbalance import LoadBalanceMetrics
 from repro.metrics.p2p import P2PMetrics
 from repro.metrics.rma import RMAMetrics
 from repro.metrics.sched import SchedMetrics
+from repro.metrics.storage import StorageMetrics
 from repro.metrics.perf import parallel_efficiency, relative_performance
 from repro.metrics.report import Table, format_mb
 from repro.metrics.ascii_plot import line_chart
@@ -21,6 +22,7 @@ __all__ = [
     "P2PMetrics",
     "RMAMetrics",
     "SchedMetrics",
+    "StorageMetrics",
     "parallel_efficiency",
     "relative_performance",
     "Table",

@@ -51,6 +51,13 @@ class RMAMetrics:
     locks: int = 0
     #: bytes of per-origin mirror copies (process-backend emulation)
     mirror_bytes: int = 0
+    #: per-chunk data-lock traffic (the PR 8 refactor of the old
+    #: whole-window data_lock): acquisitions counts every chunk lock
+    #: taken by puts/staged gets/RMWs (and storage flush/spill), waits
+    #: counts only contended acquisitions -- operations on disjoint
+    #: chunks therefore add acquisitions but zero waits
+    chunk_lock_acquisitions: int = 0
+    chunk_lock_waits: int = 0
 
     @classmethod
     def from_runtime(cls, runtime: Any) -> "RMAMetrics":
@@ -82,6 +89,17 @@ class RMAMetrics:
                 m.fences += c.fences
                 m.locks += c.locks
                 m.mirror_bytes += c.mirror_bytes
+            # chunk-lock traffic: the window-wide table (in-memory
+            # windows), plus each storage segment's per-chunk table
+            syncs = [getattr(st, "sync", None)]
+            for buf in getattr(st, "buffers", []):
+                syncs.append(getattr(buf, "sync", None))
+            for sync in syncs:
+                if sync is None:
+                    continue
+                acq, waits = sync.counters()
+                m.chunk_lock_acquisitions += acq
+                m.chunk_lock_waits += waits
         return m
 
     # ------------------------------------------------------------- derived
@@ -116,6 +134,8 @@ class RMAMetrics:
             "fences": self.fences,
             "locks": self.locks,
             "mirror_bytes": self.mirror_bytes,
+            "chunk_lock_acquisitions": self.chunk_lock_acquisitions,
+            "chunk_lock_waits": self.chunk_lock_waits,
         }
 
     def render(self) -> str:

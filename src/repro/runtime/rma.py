@@ -54,6 +54,9 @@ from repro.runtime.errors import (
 )
 from repro.runtime.ops import Op, SUM
 from repro.runtime.payload import clone
+from repro.storage.array import ChunkedArray
+from repro.storage.chunkstore import DEFAULT_CHUNK_ELEMS
+from repro.storage.sync import ChunkSynchronizer
 
 _ABORT_TICK = 1.0
 
@@ -130,8 +133,8 @@ class _WinShared:
         self.id = win_id
         self.size = size
         self.runtime = runtime
-        self.kind = kind                      # "create" | "allocate" | "shared"
-        self.buffers: List[Optional[np.ndarray]] = [None] * size
+        self.kind = kind          # "create" | "allocate" | "shared" | "storage"
+        self.buffers: List[Optional[Any]] = [None] * size
         self.allocs: List[Optional[Tuple[Any, Any]]] = [None] * size
         self.base: Optional[np.ndarray] = None   # contiguous ("shared" kind)
         self.offsets: Dict[int, int] = {}
@@ -142,7 +145,15 @@ class _WinShared:
         # never held across a park, so they stay plain OS locks.
         make_cond = getattr(runtime, "condition", None)
         self.cond = make_cond() if make_cond is not None else threading.Condition()
-        self.data_lock = threading.Lock()     # accumulate atomicity
+        # Data atomicity is per *chunk*, not per window: every put /
+        # staged get / RMW spans the ``(target, chunk)`` keys it touches
+        # through this synchronizer (sorted acquisition, deadlock-free),
+        # so operations on disjoint chunks proceed concurrently where
+        # the old whole-window data_lock serialised them.  Storage
+        # windows use their ChunkedArray's own per-chunk table instead.
+        self.sync = ChunkSynchronizer()
+        self.chunk_elems = DEFAULT_CHUNK_ELEMS
+        self.store: Optional[Any] = None      # ChunkStore ("storage" kind)
         self.stats_lock = threading.Lock()
         self.counters = _WinCounters()
         # PSCW: target comm-rank ->
@@ -217,27 +228,42 @@ class Win:
 
     # ------------------------------------------------------------ creation
     @classmethod
-    def create(cls, comm: Any, local: np.ndarray) -> "Win":
+    def create(
+        cls, comm: Any, local: np.ndarray, *, chunk_elems: Optional[int] = None
+    ) -> "Win":
         """Collective: expose an existing 1-D numpy buffer
         (MPI_Win_create analog)."""
         local = np.asarray(local)
         if local.ndim != 1:
             raise MPIError("Win.create exposes 1-D buffers")
-        return cls._build(comm, local, kind="create")
+        return cls._build(comm, local, kind="create", chunk_elems=chunk_elems)
 
     @classmethod
     def allocate(
-        cls, comm: Any, count: int, dtype: Any = np.float64
+        cls,
+        comm: Any,
+        count: int,
+        dtype: Any = np.float64,
+        *,
+        chunk_elems: Optional[int] = None,
     ) -> "Win":
         """Collective: allocate ``count`` elements per rank and expose
-        them (MPI_Win_allocate analog)."""
+        them (MPI_Win_allocate analog).  ``chunk_elems`` sets the data
+        lock granularity (elements per chunk lock)."""
         if count < 0:
             raise MPIError("Win.allocate needs a non-negative count")
         local = np.zeros(int(count), dtype=np.dtype(dtype))
-        return cls._build(comm, local, kind="allocate")
+        return cls._build(comm, local, kind="allocate", chunk_elems=chunk_elems)
 
     @classmethod
-    def _build(cls, comm: Any, local: np.ndarray, *, kind: str) -> "Win":
+    def _build(
+        cls,
+        comm: Any,
+        local: np.ndarray,
+        *,
+        kind: str,
+        chunk_elems: Optional[int] = None,
+    ) -> "Win":
         rt = comm.runtime
         world = comm.world_rank
         space = rt.space_for(world)
@@ -249,6 +275,8 @@ class Win:
             st: Optional[_WinShared] = _WinShared(
                 rt.register_window(None), comm.size, rt, kind
             )
+            if chunk_elems is not None:
+                st.chunk_elems = max(1, int(chunk_elems))
             rt._windows[st.id] = st
         else:
             st = None
@@ -259,6 +287,61 @@ class Win:
         st.buffers[comm.rank] = local
         st.allocs[comm.rank] = (space, alloc)
         st.sizes[comm.rank] = int(local.size)
+        comm.barrier()
+        return cls(st, comm)
+
+    @classmethod
+    def allocate_storage(
+        cls,
+        comm: Any,
+        count: int,
+        dtype: Any = np.float64,
+        *,
+        store: Any,
+        name: str = "win",
+        chunk_elems: Optional[int] = None,
+    ) -> "Win":
+        """Collective: a persistent window of ``count`` elements per
+        rank, backed by a :class:`~repro.storage.chunkstore.ChunkStore`
+        (the *MPI Windows on Storage* shape).
+
+        Each rank's segment is a
+        :class:`~repro.storage.array.ChunkedArray` named
+        ``"<name>.r<rank>"``; resident chunks are charged to the rank's
+        arena (so they spill under capacity pressure) and every
+        :meth:`fence` flushes dirty chunks and commits the store's
+        manifest -- a durable checkpoint.  Opening against a store that
+        already holds the arrays (``Runtime.restore_storage``) resumes
+        from their last committed contents.
+        """
+        if count < 0:
+            raise MPIError("Win.allocate_storage needs a non-negative count")
+        rt = comm.runtime
+        store.bind(rt)
+        world = comm.world_rank
+        local = ChunkedArray(
+            store,
+            f"{name}.r{comm.rank}",
+            int(count),
+            dtype,
+            chunk_elems,
+            arena=rt.space_for(world),
+            spill=getattr(rt, "storage_spill", None),
+            owner=world,
+        )
+        if comm.rank == 0:
+            st: Optional[_WinShared] = _WinShared(
+                rt.register_window(None), comm.size, rt, "storage"
+            )
+            st.store = store
+            st.chunk_elems = local.chunk_elems
+            rt._windows[st.id] = st
+        else:
+            st = None
+        st = comm._coll.exchange(comm.rank, st)[0]
+        st.buffers[comm.rank] = local
+        st.allocs[comm.rank] = None
+        st.sizes[comm.rank] = int(count)
         comm.barrier()
         return cls(st, comm)
 
@@ -398,8 +481,11 @@ class Win:
         """May this access touch the target segment with plain
         loads/stores?  Needs a shared address space between origin and
         target, plus either the runtime-wide ``sharing="shared"`` policy
-        or an explicitly shared-allocated window."""
+        or an explicitly shared-allocated window.  Storage windows are
+        never direct: every access goes through the chunk cache."""
         rt = self._shared.runtime
+        if self._shared.kind == "storage":
+            return False
         if not rt.shares_address_space(
             self.comm.world_rank, self.comm.to_world(target)
         ):
@@ -420,12 +506,53 @@ class Win:
 
     def _segment(self, target: int, disp: int, count: int) -> np.ndarray:
         buf = self.shared_query(target)
-        if disp < 0 or count < 0 or disp + count > buf.size:
+        self._check_bounds(target, buf.size, disp, count)
+        return buf[disp:disp + count]
+
+    @staticmethod
+    def _check_bounds(target: int, size: int, disp: int, count: int) -> None:
+        if disp < 0 or count < 0 or disp + count > size:
             raise MPIError(
                 f"RMA access [{disp}, {disp + count}) outside target "
-                f"{target}'s segment of {buf.size} elements"
+                f"{target}'s segment of {size} elements"
             )
-        return buf[disp:disp + count]
+
+    def _span(self, target: int, disp: int, count: int):
+        """The (synchronizer, chunk keys) pair serialising an access to
+        ``[disp, disp+count)`` of ``target``'s segment.
+
+        In-memory windows key the window-wide table by ``(target,
+        chunk)``; storage windows use the target ChunkedArray's own
+        per-chunk table (shared with flush/spill), keyed by chunk index.
+        """
+        st = self._shared
+        if st.kind == "storage":
+            buf = self.shared_query(target)
+            return buf.sync, list(buf.chunk_range(disp, count))
+        if count <= 0:
+            return st.sync, []
+        ce = st.chunk_elems
+        first, last = disp // ce, (disp + count - 1) // ce
+        return st.sync, [(target, c) for c in range(first, last + 1)]
+
+    @staticmethod
+    def _storage_chunkwise(
+        buf: Any, disp: int, count: int, task: int,
+        fn: Callable[[int, int, int], None],
+    ) -> None:
+        """Run ``fn(chunk_lo, chunk_hi, payload_off)`` for each chunk
+        overlapped by ``[disp, disp+count)``, holding only that chunk's
+        lock.  MPI one-sided semantics guarantee at most element-wise
+        atomicity across a multi-chunk access, so locking chunk-at-a-time
+        is sound -- and it bounds the residency an access pins to one
+        chunk, which is what lets accesses far larger than the arena
+        capacity stream through the spill layer."""
+        ce = buf.chunk_elems
+        for idx in buf.chunk_range(disp, count):
+            lo = max(disp, idx * ce)
+            hi = min(disp + count, idx * ce + min(ce, buf.length - idx * ce))
+            with buf.sync.span([idx]):
+                fn(lo, hi, lo - disp)
 
     def _mirror(self, target: int, nbytes: int) -> None:
         """Process-backend emulation: the first access from this origin
@@ -484,19 +611,33 @@ class Win:
         nbytes = int(arr.nbytes)
         self._record_rma("put", target, nbytes)
         self._check_epoch(target, "put")
-        seg = self._segment(target, target_disp, int(arr.size))
         st = self._shared
+        if st.kind == "storage":
+            buf = self.shared_query(target)
+            self._check_bounds(target, buf.size, target_disp, int(arr.size))
+            flat = arr.reshape(-1)
+            task = self.comm.world_rank
+
+            def write(lo: int, hi: int, off: int) -> None:
+                buf.write_locked(lo, flat[off:off + hi - lo], task=task)
+
+            self._storage_chunkwise(buf, target_disp, int(arr.size), task, write)
+            st.note(puts=1, bytes=nbytes, staged_copies=1, staged_bytes=nbytes)
+            return
+        seg = self._segment(target, target_disp, int(arr.size))
+        sync, keys = self._span(target, target_disp, int(arr.size))
         if self._direct(target):
-            # the store itself is zero-copy; the lock only serialises it
-            # against a concurrent accumulate's read-modify-write so the
-            # accumulate's per-window atomicity holds
-            with st.data_lock:
+            # the store itself is zero-copy; the span locks only
+            # serialise it against a concurrent RMW touching the same
+            # chunks, so accumulate atomicity holds without serialising
+            # disjoint-chunk traffic
+            with sync.span(keys):
                 np.copyto(seg, arr)
             st.note(zero_copy_hits=1, zero_copy_bytes=nbytes)
         else:
             staged = clone(arr)          # origin-side serialisation copy
             self._stage(target, nbytes)
-            with st.data_lock:
+            with sync.span(keys):
                 np.copyto(seg, staged)
         st.note(puts=1, bytes=nbytes)
 
@@ -520,11 +661,34 @@ class Win:
         full = self.shared_query(target)
         if count is None:
             count = int(full.size) - target_disp
-        nbytes = int(count) * full.dtype.itemsize
+        nbytes = int(count) * np.dtype(full.dtype).itemsize
         self._record_rma("get", target, nbytes)
         self._check_epoch(target, "get")
-        seg = self._segment(target, target_disp, int(count))
         st = self._shared
+        if st.kind == "storage":
+            if not copy:
+                raise MPIError(
+                    "zero-copy get (copy=False) is unavailable on "
+                    "storage-backed windows: chunks are cached, not mapped"
+                )
+            self._check_bounds(target, full.size, target_disp, int(count))
+            staged = np.empty(int(count), dtype=full.dtype)
+            task = self.comm.world_rank
+
+            def read(lo: int, hi: int, off: int) -> None:
+                staged[off:off + hi - lo] = full.read_locked(
+                    lo, hi - lo, task=task
+                )
+
+            self._storage_chunkwise(full, target_disp, int(count), task, read)
+            if buf is None:
+                out = staged
+            else:
+                np.copyto(buf.reshape(staged.shape), staged)
+                out = buf
+            st.note(gets=1, bytes=nbytes, staged_copies=1, staged_bytes=nbytes)
+            return out
+        seg = self._segment(target, target_disp, int(count))
         direct = self._direct(target)
         if not copy:
             if not direct:
@@ -544,7 +708,8 @@ class Win:
             if buf is not None:
                 np.copyto(buf.reshape(seg.shape), seg)
         else:
-            with st.data_lock:
+            sync, keys = self._span(target, target_disp, int(count))
+            with sync.span(keys):
                 staged = clone(seg)      # target-side serialisation copy
             self._stage(target, nbytes)
             if buf is None:
@@ -569,25 +734,50 @@ class Win:
 
         One code path carries the epoch check, the zero-copy vs staged
         (vs process-mirror) accounting, and -- critically -- the
-        per-window ``data_lock`` that serialises every RMW against puts
-        (the PR 4 fix).  ``apply(seg, contrib)`` runs with the lock
-        held and its return value is passed through, so the atomicity
-        guarantee cannot drift between the three backends."""
+        *per-chunk* span locks that serialise every RMW against puts
+        touching the same chunks (the PR 4 atomicity fix, re-scoped
+        from the old whole-window data_lock so disjoint-chunk traffic
+        no longer serialises).  ``apply(seg, contrib)`` runs with the
+        span held and its return value is passed through, so the
+        atomicity guarantee cannot drift between the backends."""
         self._hit("rma.put")
         self._check_live()
         arr = np.asarray(src)
         nbytes = int(arr.nbytes)
         self._record_rma(op_name, target, nbytes)
         self._check_epoch(target, op_name)
-        seg = self._segment(target, target_disp, int(arr.size))
         st = self._shared
+        if st.kind == "storage":
+            buf = self.shared_query(target)
+            self._check_bounds(target, buf.size, target_disp, int(arr.size))
+            contrib = clone(arr).reshape(-1)
+            task = self.comm.world_rank
+            results: List[Any] = []
+
+            def rmw(lo: int, hi: int, off: int) -> None:
+                # gather-apply-scatter under the chunk's lock: the same
+                # ``apply`` callable the in-memory path uses, run against
+                # the cached region.  The reduction ops are elementwise,
+                # so applying per chunk slice preserves MPI's (element-
+                # wise) accumulate atomicity; the single-element atomics
+                # always span exactly one chunk.
+                region = buf.read_locked(lo, hi - lo, task=task)
+                results.append(apply(region, contrib[off:off + hi - lo]))
+                buf.write_locked(lo, region, task=task)
+
+            self._storage_chunkwise(buf, target_disp, int(arr.size), task, rmw)
+            st.note(bytes=nbytes, staged_copies=1, staged_bytes=nbytes,
+                    **{counter: 1})
+            return results[0] if results else None
+        seg = self._segment(target, target_disp, int(arr.size))
         if self._direct(target):
-            contrib: Any = arr
+            contrib = arr
             st.note(zero_copy_hits=1, zero_copy_bytes=nbytes)
         else:
             contrib = clone(arr)
             self._stage(target, nbytes)
-        with st.data_lock:
+        sync, keys = self._span(target, target_disp, int(arr.size))
+        with sync.span(keys):
             out = apply(seg, contrib)
         st.note(bytes=nbytes, **{counter: 1})
         return out
@@ -670,23 +860,51 @@ class Win:
     # ------------------------------------------------------ active target
     def fence(self) -> None:
         """Collective epoch separator (MPI_Win_fence analog): closes the
-        previous fence epoch and opens a new one on every rank."""
+        previous fence epoch and opens a new one on every rank.
+
+        On a storage-backed window every fence is additionally a
+        **durable checkpoint**: after the closing barrier each rank
+        flushes its segment's dirty chunks and, if anything was written
+        anywhere, rank 0 commits the store's manifest -- so the store's
+        epoch counts completed fences with writes, and
+        ``Runtime.restore_storage`` resumes from exactly here."""
         self._hit("rma.epoch")
         self._check_live()
         self._record_epoch("fence")
         self.comm.barrier()
+        self._checkpoint_if_storage()
         self._fence_open = True
         self._shared.note(fences=1)
 
     def fence_end(self) -> None:
         """Final fence: closes the fence epoch without opening a new
-        one (the MPI_MODE_NOSUCCEED assertion)."""
+        one (the MPI_MODE_NOSUCCEED assertion).  Checkpoints a storage
+        window just like :meth:`fence`."""
         self._hit("rma.epoch")
         self._check_live()
         self._record_epoch("fence_end")
         self.comm.barrier()
+        self._checkpoint_if_storage()
         self._fence_open = False
         self._shared.note(fences=1)
+
+    def _checkpoint_if_storage(self) -> None:
+        """Flush + commit step of a storage-window fence.  Runs after
+        the fence barrier, so every rank's epoch-closing accesses are
+        already applied to the chunk caches.  The commit is skipped when
+        no rank wrote anything (the allreduce is itself the barrier
+        separating flush from commit), keeping the store epoch equal to
+        the number of *dirtying* fences -- what restart arithmetic
+        needs."""
+        st = self._shared
+        if st.kind != "storage":
+            return
+        wrote = st.buffers[self.rank].flush(task=self.comm.world_rank)
+        total = int(self.comm.allreduce(int(wrote)))
+        if total > 0:
+            if self.rank == 0:
+                st.store.commit(task=self.comm.world_rank)
+            self.comm.barrier()
 
     def post(self, group: Iterable[int]) -> None:
         """Open an exposure epoch to the origins in ``group``
@@ -882,9 +1100,20 @@ class Win:
     # -------------------------------------------------------------- free
     def free(self) -> None:
         """Collective: release the window's simulated allocations
-        (including the process backend's mirror copies)."""
+        (including the process backend's mirror copies).  A storage
+        window is flushed and committed first -- freeing is itself a
+        checkpoint -- then its resident chunks are dropped, so a
+        ``MemoryManager`` leak report after free counts no resident
+        storage bytes."""
         self.comm.barrier()
         st = self._shared
+        if st.kind == "storage":
+            self._checkpoint_if_storage()
+            st.buffers[self.rank].close(task=self.comm.world_rank)
+            if self.rank == 0:
+                st.freed = True
+            self.comm.barrier()
+            return
         pair = st.allocs[self.rank]
         if pair is not None and pair[0] is not None:
             space, alloc = pair

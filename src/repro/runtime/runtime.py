@@ -213,6 +213,17 @@ class Runtime:
         #: aggregated by rma_metrics()
         self._windows: List[Any] = []
         self._win_lock = threading.Lock()
+        #: chunk-residency LRU + spill policy (repro.storage): arenas
+        #: consult it when an allocation overruns their live-bytes
+        #: capacity, paging cold storage chunks out instead of raising
+        from repro.storage.residency import SpillManager
+
+        self.storage_spill = SpillManager(self)
+        self.memory.set_spiller(self.storage_spill)
+        #: ChunkStores bound to this runtime (repro.storage); aggregated
+        #: by storage_metrics()
+        self._stores: List[Any] = []
+        self._stores_lock = threading.Lock()
         #: per-loop reports registered by repro.scheduler.dynamic_for;
         #: aggregated by loadbalance_metrics()
         self._loop_reports: List[Any] = []
@@ -492,10 +503,44 @@ class Runtime:
     def rma_metrics(self):
         """Snapshot of the one-sided counters aggregated over every
         window (ops, bytes, staged copies, zero-copy hits, epoch
-        waits)."""
+        waits, chunk-lock acquisitions/waits)."""
         from repro.metrics.rma import RMAMetrics
 
         return RMAMetrics.from_runtime(self)
+
+    # --------------------------------------------------------------- storage
+    def attach_store(self, store: Any) -> None:
+        """Register a bound :class:`~repro.storage.chunkstore.ChunkStore`
+        (called by ``ChunkStore.bind``; idempotent).  Attached stores
+        feed fault-site hits through this runtime's injector and are
+        aggregated by :meth:`storage_metrics`."""
+        with self._stores_lock:
+            if store not in self._stores:
+                self._stores.append(store)
+
+    def stores(self) -> List[Any]:
+        with self._stores_lock:
+            return list(self._stores)
+
+    def restore_storage(self, root: Any) -> Any:
+        """Reopen a chunk store from its manifest -- the state as of the
+        last completed fence checkpoint -- and bind it to this runtime.
+        ``Win.allocate_storage`` against the returned store attaches to
+        the persisted arrays, so a crashed run resumes from
+        ``store.epoch`` completed fences (bit-for-bit, as the chaos
+        restart battery asserts)."""
+        from repro.storage.chunkstore import ChunkStore
+
+        return ChunkStore.open(root).bind(self)
+
+    def storage_metrics(self):
+        """Snapshot of the out-of-core counters: chunk reads/writes and
+        bytes, manifest commits per attached store, plus the spill
+        layer's residency statistics (spills, faults, resident/peak
+        bytes)."""
+        from repro.metrics.storage import StorageMetrics
+
+        return StorageMetrics.from_runtime(self)
 
     def _comm_alloc(
         self, space: AddressSpace, nbytes: int, *, label: str, owner: int,

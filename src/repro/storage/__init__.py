@@ -1,0 +1,30 @@
+"""Hierarchical local storage, tier two: file-backed chunk stores.
+
+The out-of-core and checkpoint/restart layer (after *MPI Windows on
+Storage*, arXiv:1810.04110): a :class:`ChunkStore` persists named 1-D
+arrays as versioned chunk files under an atomically-committed manifest;
+a :class:`ChunkedArray` caches chunks in arena-charged memory behind
+per-chunk locks (:class:`ChunkSynchronizer`); a :class:`SpillManager`
+pages cold chunks out when an arena overruns its live-bytes capacity.
+``Win.allocate_storage`` builds RMA windows on top, with every fence a
+durable checkpoint, and ``Runtime.restore_storage`` reopens a manifest
+to resume from the last completed fence epoch.
+"""
+
+from repro.storage.array import ChunkedArray
+from repro.storage.chunkstore import (
+    DEFAULT_CHUNK_ELEMS,
+    ChunkStore,
+    StorageError,
+)
+from repro.storage.residency import SpillManager
+from repro.storage.sync import ChunkSynchronizer
+
+__all__ = [
+    "ChunkedArray",
+    "ChunkStore",
+    "ChunkSynchronizer",
+    "DEFAULT_CHUNK_ELEMS",
+    "SpillManager",
+    "StorageError",
+]

@@ -18,6 +18,8 @@ delivery policy.
 """
 
 import os
+import shutil
+import tempfile
 import time
 
 import numpy as np
@@ -25,6 +27,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.faults import ChaosArtifact, FaultPlan, FaultSpec
+from repro.storage import ChunkStore
 from repro.hls import HLSProgram
 from repro.machine import core2_cluster
 from repro.runtime import (
@@ -397,6 +400,163 @@ def test_chaos_crash_artifact_replays_the_crash(tmp_path):
     # (post-abort draining is unrecorded on both sides)
     n = len(rt2.schedule_trace().events)
     assert rt1.schedule_trace().events[:n] == rt2.schedule_trace().events
+
+
+# ------------------------------------------- storage checkpoint/restart
+# The durability contract under chaos: a crash at ANY storage or RMA
+# fault site leaves the store manifest at the last completed fence
+# epoch, and restore_storage() + resume-from-epoch lands bit-for-bit on
+# the uninterrupted result.  A violated restore dumps the manifest as
+# ``storage_failmanifest_<site>.json`` (a CI artifact).
+
+S_COUNT = 32
+S_CHUNK = 8
+S_ITERS = 4
+
+
+def s_payload(it, rank):
+    return np.arange(S_COUNT, dtype=float) * (it + 1) + rank * 100
+
+
+def wl_storage(store, start, iters):
+    """Fenced accumulate chain on a storage window: every iteration is
+    one checkpoint, so ``start`` can be ``store.epoch`` on a restart."""
+    def main(ctx):
+        win = Win.allocate_storage(ctx.comm_world, S_COUNT, store=store,
+                                   name="w", chunk_elems=S_CHUNK)
+        rank, size = ctx.rank, ctx.size
+        win.fence()
+        for it in range(start, iters):
+            win.accumulate(s_payload(it, rank), (rank + 1) % size, op=SUM)
+            win.fence()
+        final = win.get(rank)
+        win.fence_end()
+        win.free()
+        return [float(x) for x in final]
+    return main
+
+
+def s_expected(rank):
+    left = (rank - 1) % N_TASKS
+    acc = np.zeros(S_COUNT)
+    for it in range(S_ITERS):
+        acc += s_payload(it, left)
+    return [float(x) for x in acc]
+
+
+def check_restored(site, store, results):
+    """Bit-equality of the restored run; manifest artifact on failure."""
+    expected = [s_expected(r) for r in range(N_TASKS)]
+    if results == expected:
+        return
+    path = f"storage_failmanifest_{site.replace('.', '_')}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(store.manifest_json())
+    pytest.fail(
+        f"restore after a crash at {site} diverged -- "
+        f"manifest saved to {path}"
+    )
+
+
+#: (site, victim task) -- flush/commit runs on rank 0 only
+STORAGE_CRASH_SITES = [
+    ("storage.read", 3),
+    ("storage.write", 3),
+    ("storage.flush", 0),
+    ("rma.put", 3),       # accumulate on the storage window
+    ("rma.get", 3),       # the final read-back
+    ("rma.epoch", 3),     # the fence/checkpoint boundary itself
+]
+
+
+@pytest.mark.parametrize(
+    "site,victim", STORAGE_CRASH_SITES, ids=[s for s, _ in STORAGE_CRASH_SITES])
+def test_crash_then_restore_storage_is_bit_equal(site, victim, tmp_path):
+    """Crash mid-loop at each storage/RMA site, reopen the manifest,
+    resume from the last fence epoch: final state equals the
+    uninterrupted run's, bit for bit."""
+    root = tmp_path / "store"
+
+    # phase 1: two clean fenced iterations, committed (pre-populates the
+    # store so chunk *reads* fire from the first access of phase 2)
+    store0 = ChunkStore.create(root)
+    make_runtime().run(wl_storage(store0, 0, 2))
+    assert store0.epoch == 2
+
+    # phase 2: resume under a crash plan -- dies somewhere in [2, 4)
+    plan = FaultPlan.single(site, "crash", task=victim, nth=1)
+    rt1 = make_runtime(plan)
+    store1 = rt1.restore_storage(root)
+    with pytest.raises(InjectedCrash):
+        rt1.run(wl_storage(store1, store1.epoch, S_ITERS))
+    assert rt1.fault_metrics().fired.get("crash") == 1
+
+    # phase 3: restore from whatever the crash left behind and finish
+    rt2 = make_runtime()
+    store2 = rt2.restore_storage(root)
+    assert 2 <= store2.epoch <= S_ITERS, (
+        "a crash must never roll a committed epoch back"
+    )
+    results = rt2.run(wl_storage(store2, store2.epoch, S_ITERS))
+    check_restored(site, store2, results)
+    assert rt2.finalize().by_kind().get("storage", 0) == 0
+
+
+def test_storage_crash_artifact_replays_and_restores(tmp_path):
+    """The coop-era loop for storage: a failing run is captured as ONE
+    (plan, schedule) artifact, replays to the identical crash, and the
+    store it leaves behind restores bit-for-bit."""
+    root = tmp_path / "store"
+    plan = FaultPlan.single("storage.write", "crash", task=3, nth=2)
+    rt1 = make_runtime(plan, backend="coop", schedule="random:13")
+    store1 = ChunkStore.create(root)
+    with pytest.raises(InjectedCrash):
+        rt1.run(wl_storage(store1, 0, S_ITERS))
+    path = tmp_path / "chaos_artifact.json"
+    ChaosArtifact.from_runtime(rt1, workload="storage").dump(path)
+
+    # replay the artifact against a FRESH store: identical injection log
+    art = ChaosArtifact.load(path)
+    rt2 = make_runtime(art.plan, backend="coop",
+                       schedule=art.replay_schedule())
+    store2 = ChunkStore.create(tmp_path / "replay")
+    with pytest.raises(InjectedCrash):
+        rt2.run(wl_storage(store2, 0, S_ITERS))
+    assert rt2.faults.sorted_log() == rt1.faults.sorted_log()
+
+    # and the original crash's store restores to the full result
+    rt3 = make_runtime()
+    store3 = rt3.restore_storage(root)
+    results = rt3.run(wl_storage(store3, store3.epoch, S_ITERS))
+    check_restored("storage.write", store3, results)
+
+
+@pytest.mark.parametrize("seed", range(min(N_SEEDS, 8)))
+def test_storage_chaos_sweep_random_plans(seed):
+    """Seeded random fault plans over the storage sites: liveness (clean
+    result or clean MPIError, never a hang) on the paging hot path."""
+    plan = FaultPlan.random(
+        seed, N_TASKS,
+        n_faults=6,
+        sites=("storage.read", "storage.write", "storage.flush",
+               "rma.put", "rma.epoch"),
+        max_nth=6,
+        max_delay=0.005,
+    )
+    rt = make_runtime(plan)
+    root = tempfile.mkdtemp(prefix="repro-chaos-storage-")
+    try:
+        store = ChunkStore.create(root)
+        try:
+            rt.run(wl_storage(store, 0, S_ITERS))
+            ok = True
+        except MPIError:
+            ok = True
+        except Exception:
+            ok = False
+        check_clean("storage", plan, ok)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
 
 
 # ----------------------------------------------------- hypothesis property
