@@ -25,7 +25,7 @@ _ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
 #: per-artifact measurement queues, drained at session end
 _QUEUES = {"p2p": [], "rma": [], "memory": [], "sched": [],
-           "loadbalance": [], "storage": []}
+           "loadbalance": [], "storage": [], "collectives": []}
 _PATHS = {
     "p2p": os.path.join(_ROOT, "BENCH_p2p.json"),
     "rma": os.path.join(_ROOT, "BENCH_rma.json"),
@@ -33,6 +33,7 @@ _PATHS = {
     "sched": os.path.join(_ROOT, "BENCH_sched.json"),
     "loadbalance": os.path.join(_ROOT, "BENCH_loadbalance.json"),
     "storage": os.path.join(_ROOT, "BENCH_storage.json"),
+    "collectives": os.path.join(_ROOT, "BENCH_collectives.json"),
 }
 
 
@@ -69,6 +70,15 @@ def record_loadbalance(name, **fields):
     traffic, wall time vs the static oracle) for the
     BENCH_loadbalance.json trajectory."""
     _QUEUES["loadbalance"].append({"name": name, **fields})
+
+
+def record_collectives(name, **fields):
+    """Queue one nonblocking-collective measurement for the
+    BENCH_collectives.json trajectory.  Rows must carry the tuner schema
+    (op, algorithm, chunk_bytes, payload_bytes, n_tasks, sharing,
+    time_s): ``Runtime(algorithm="auto")`` replays this file to pick
+    algorithms, so every appended run retunes future selections."""
+    _QUEUES["collectives"].append({"name": name, **fields})
 
 
 def record_storage(name, **fields):

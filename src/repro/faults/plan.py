@@ -34,6 +34,9 @@ SITES: Dict[str, Tuple[str, ...]] = {
     # per-rank entry of a collective episode (flat barrier arrival or
     # hierarchical tree sweep)
     "coll.sweep": ("delay", "crash", "wake"),
+    # nonblocking collectives (repro.runtime.icoll): once per rank on
+    # episode deposit, then once per dataflow cell an executor runs
+    "coll.ichunk": ("delay", "crash", "wake"),
     # HLS scope synchronisation directives
     "hls.barrier": ("delay", "crash", "wake"),
     "hls.single": ("delay", "crash", "wake"),

@@ -30,6 +30,14 @@ class CollectiveMetrics:
         self.clones = 0
         #: clones skipped by the zero-copy fast path
         self.clones_elided = 0
+        #: planned nonblocking-collective episodes per algorithm
+        #: ("flat" | "hierarchical" | "pipelined")
+        self.icoll_episodes: Dict[str, int] = {}
+        #: dataflow cells executed by the nonblocking engine
+        self.icoll_cells = 0
+        #: cells executed by a rank other than their owner (work
+        #: stealing: a waiting rank progressing a busy peer's cells)
+        self.icoll_steals = 0
 
     # ------------------------------------------------------------- recording
     def note_episode(self, label: str, arity: int, comm_size: int) -> None:
@@ -37,6 +45,18 @@ class CollectiveMetrics:
             self.episodes[label] = self.episodes.get(label, 0) + 1
             if arity == comm_size and comm_size > 1:
                 self.full_comm_episodes += 1
+
+    def note_icoll_episode(self, algorithm: str) -> None:
+        with self._lock:
+            self.icoll_episodes[algorithm] = (
+                self.icoll_episodes.get(algorithm, 0) + 1
+            )
+
+    def note_icoll_cell(self, *, stolen: bool) -> None:
+        with self._lock:
+            self.icoll_cells += 1
+            if stolen:
+                self.icoll_steals += 1
 
     def note_clone(self) -> None:
         with self._lock:
@@ -63,6 +83,9 @@ class CollectiveMetrics:
                 "full_comm_episodes": self.full_comm_episodes,
                 "clones": self.clones,
                 "clones_elided": self.clones_elided,
+                "icoll_episodes": dict(self.icoll_episodes),
+                "icoll_cells": self.icoll_cells,
+                "icoll_steals": self.icoll_steals,
             }
 
     def render(self) -> str:
@@ -72,6 +95,10 @@ class CollectiveMetrics:
         table.add_row("full-comm episodes", self.full_comm_episodes)
         table.add_row("clones", self.clones)
         table.add_row("clones elided", self.clones_elided)
+        for label in sorted(self.icoll_episodes):
+            table.add_row(f"icoll episodes[{label}]", self.icoll_episodes[label])
+        table.add_row("icoll cells", self.icoll_cells)
+        table.add_row("icoll cells stolen", self.icoll_steals)
         return table.render()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -42,6 +42,8 @@ from repro.runtime.message import (
 from repro.runtime.ops import LAND, LOR, MAX, MIN, PROD, SUM
 from repro.runtime.request import Request
 from repro.runtime.collectives import CollectiveState, HierarchicalCollectiveState
+from repro.runtime.icoll import DEFAULT_CHUNK_BYTES, CollectiveRequest, IcollState
+from repro.runtime.autotune import CollectiveTuner
 from repro.runtime.communicator import Comm
 from repro.runtime.task import TaskContext
 from repro.runtime.runtime import CommStats, Runtime
@@ -86,6 +88,10 @@ __all__ = [
     "Request",
     "CollectiveState",
     "HierarchicalCollectiveState",
+    "CollectiveRequest",
+    "IcollState",
+    "CollectiveTuner",
+    "DEFAULT_CHUNK_BYTES",
     "Comm",
     "TaskContext",
     "Runtime",

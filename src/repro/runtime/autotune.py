@@ -1,0 +1,149 @@
+"""Trajectory-driven collective algorithm selection.
+
+``Runtime(algorithm="auto")`` consults a :class:`CollectiveTuner` when a
+nonblocking collective is planned: the tuner replays the measured
+history in ``BENCH_collectives.json`` (written by
+``benchmarks/test_icollectives_scaling.py``, uploaded as a CI artifact)
+and picks, per ``(op, payload_size, n_tasks, sharing)``, the algorithm
+and chunk size that won the nearest measured configuration.  With no
+history on disk it falls back to static heuristics distilled from the
+same benchmarks (and from Zhou et al., arXiv:2007.06892): pipeline
+large payloads, climb the topology tree for wide communicators, go
+flat when both are small.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+#: default trajectory file, relative to the working directory (the
+#: benchmarks append to the repo root's copy); override with the
+#: REPRO_BENCH_COLLECTIVES environment variable
+BENCH_FILE = "BENCH_collectives.json"
+
+#: static-fallback thresholds (see CollectiveTuner.static_select)
+PIPELINE_MIN_BYTES = 1 << 20
+PIPELINE_MIN_TASKS = 8
+TREE_MIN_TASKS = 16
+STATIC_CHUNK_BYTES = 256 << 10
+
+
+def _log_distance(a: float, b: float) -> float:
+    """Distance between two positive magnitudes in doublings."""
+    a = max(1.0, float(a))
+    b = max(1.0, float(b))
+    return abs(math.log2(a) - math.log2(b))
+
+
+class CollectiveTuner:
+    """Selects (algorithm, chunk_bytes) from measured trajectory rows.
+
+    A row is one benchmark measurement::
+
+        {"op": "ibcast", "algorithm": "pipelined", "chunk_bytes": 65536,
+         "payload_bytes": 4194304, "n_tasks": 32, "sharing": "private",
+         "time_s": 0.0123}
+
+    ``select`` matches rows on op and sharing, finds the measured
+    configuration nearest in log-space to the requested
+    ``(payload_bytes, n_tasks)``, and returns the fastest algorithm
+    measured there.  Nearest-in-log matching means a 3 MiB bcast on 24
+    tasks reuses the 4 MiB x 32-task measurement rather than a 1 KiB
+    one -- trajectory history generalises along both axes in doublings,
+    not absolute deltas.
+    """
+
+    def __init__(self, rows: List[Dict[str, Any]], path: Optional[str] = None):
+        self.rows = [r for r in rows if self._usable(r)]
+        self.path = path
+
+    @staticmethod
+    def _usable(row: Dict[str, Any]) -> bool:
+        try:
+            return (
+                isinstance(row.get("op"), str)
+                and row.get("algorithm") in ("flat", "hierarchical", "pipelined")
+                and float(row["time_s"]) >= 0.0
+                and float(row["payload_bytes"]) >= 0.0
+                and int(row["n_tasks"]) >= 1
+            )
+        except (KeyError, TypeError, ValueError):
+            return False
+
+    # ------------------------------------------------------------------ load
+    @classmethod
+    def from_bench(cls, path: Optional[str] = None) -> "CollectiveTuner":
+        """Load the trajectory file (missing/corrupt file -> empty
+        tuner, i.e. pure static fallback -- never an error)."""
+        if path is None:
+            path = os.environ.get("REPRO_BENCH_COLLECTIVES", BENCH_FILE)
+        rows: List[Dict[str, Any]] = []
+        try:
+            with open(path) as fh:
+                history = json.load(fh)
+        except (OSError, ValueError):
+            return cls([], path)
+        if not isinstance(history, list):
+            return cls([], path)
+        for run in history:
+            if not isinstance(run, dict):
+                continue
+            for row in run.get("results", ()):
+                if isinstance(row, dict):
+                    rows.append(row)
+        return cls(rows, path)
+
+    # ---------------------------------------------------------------- select
+    def select(
+        self, op: str, payload_bytes: int, n_tasks: int, sharing: str
+    ) -> Tuple[str, int]:
+        """The measured winner nearest to this configuration, or the
+        static heuristic when no history matches this op+sharing."""
+        cands = [
+            r for r in self.rows
+            if r["op"] == op and r.get("sharing", "private") == sharing
+        ]
+        if not cands:
+            return self.static_select(op, payload_bytes, n_tasks)
+        # nearest measured (payload, tasks) grid point in log space ...
+        def dist(row: Dict[str, Any]) -> float:
+            return _log_distance(
+                row["payload_bytes"], payload_bytes
+            ) + _log_distance(row["n_tasks"], n_tasks)
+
+        best_d = min(dist(r) for r in cands)
+        at_point = [r for r in cands if dist(r) <= best_d + 1e-9]
+        # ... then the fastest algorithm measured at that point
+        winner = min(at_point, key=lambda r: float(r["time_s"]))
+        chunk = int(winner.get("chunk_bytes") or 0)
+        if winner["algorithm"] == "pipelined" and chunk <= 0:
+            chunk = STATIC_CHUNK_BYTES
+        return winner["algorithm"], chunk
+
+    @staticmethod
+    def static_select(
+        op: str, payload_bytes: int, n_tasks: int
+    ) -> Tuple[str, int]:
+        """No-history heuristic: pipeline big payloads on non-trivial
+        communicators, tree wide communicators, flat otherwise."""
+        if (
+            payload_bytes >= PIPELINE_MIN_BYTES
+            and n_tasks >= PIPELINE_MIN_TASKS
+        ):
+            return "pipelined", STATIC_CHUNK_BYTES
+        if n_tasks >= TREE_MIN_TASKS:
+            return "hierarchical", 0
+        return "flat", 0
+
+
+__all__ = [
+    "CollectiveTuner",
+    "BENCH_FILE",
+    "PIPELINE_MIN_BYTES",
+    "PIPELINE_MIN_TASKS",
+    "TREE_MIN_TASKS",
+    "STATIC_CHUNK_BYTES",
+]

@@ -214,9 +214,13 @@ class CollectiveState:
         self.barrier()
         out = None
         if rank == root:
+            # Clone each contribution at the fold boundary (alltoall's
+            # discipline): a mutating op -- or one returning a view of
+            # its second argument -- must never touch the board entry
+            # another rank contributed.
             out = self._do_clone(self.board[0])
             for r in range(1, self.size):
-                out = op(out, self.board[r])
+                out = op(out, self._do_clone(self.board[r]))
         self.barrier()
         return out
 
@@ -224,9 +228,11 @@ class CollectiveState:
         self._hit(rank)
         self.board[rank] = obj
         self.barrier()
+        # every rank folds concurrently, so an uncloned contribution
+        # would be corrupted under every other rank's fold at once
         out = self._do_clone(self.board[0])
         for r in range(1, self.size):
-            out = op(out, self.board[r])
+            out = op(out, self._do_clone(self.board[r]))
         self.barrier()
         return out
 
@@ -237,7 +243,7 @@ class CollectiveState:
         self.barrier()
         out = self._do_clone(self.board[0])
         for r in range(1, rank + 1):
-            out = op(out, self.board[r])
+            out = op(out, self._do_clone(self.board[r]))
         self.barrier()
         return out
 
@@ -495,10 +501,12 @@ class HierarchicalCollectiveState(CollectiveState):
         def finish(vals: Dict[int, Any]) -> Any:
             # Fold in ascending rank order exactly like the flat
             # algorithm: bit-identical results for any op, including
-            # non-associative floating-point folds.
+            # non-associative floating-point folds.  Contributions are
+            # cloned at the fold boundary so a mutating op cannot
+            # corrupt a peer's input (same fix as the flat engine).
             out = self._do_clone(vals[0])
             for r in range(1, self.size):
-                out = op(out, vals[r])
+                out = op(out, self._do_clone(vals[r]))
             return out
 
         return finish
@@ -601,7 +609,7 @@ class HierarchicalCollectiveState(CollectiveState):
             for dst in range(self.size):
                 out = self._do_clone(vals[0])
                 for r in range(1, dst + 1):
-                    out = op(out, vals[r])
+                    out = op(out, self._do_clone(vals[r]))
                 res[dst] = out
             return res
 

@@ -48,6 +48,9 @@ class Comm:
         )
         self._coll = runtime.collective_state(context, group)
         self._epoch = 0               # per-task count of collectives on this comm
+        # nonblocking engine, created on first i* call; the shared
+        # per-communicator state lives on the runtime, this is a cache
+        self._icoll_engine: Optional[Any] = None
 
     # ------------------------------------------------------------------ shape
     @property
@@ -130,6 +133,7 @@ class Comm:
             kind="recv", try_complete=_try, block_complete=_block,
             sleep=self.runtime.task_sleep,
             park=mbox.park_for_activity, park_token=mbox.activity_token,
+            park_owner=self.runtime,
         )
 
     def sendrecv(
@@ -260,6 +264,85 @@ class Comm:
         for v in columns[1:]:
             out = op(out, v)
         return out
+
+    # ------------------------------------------------- nonblocking collectives
+    def _istart(
+        self,
+        kind: str,
+        payload: Any,
+        *,
+        root: int = 0,
+        op: Optional[Op] = None,
+        algorithm: Optional[str] = None,
+        chunk_bytes: Optional[int] = None,
+    ) -> Request:
+        """Deposit into the shared nonblocking engine and return the
+        request.  The collective epoch doubles as the episode id --
+        ranks calling collectives in different orders are caught by the
+        engine's kind/root mismatch checks."""
+        self._collective(kind)
+        if self._icoll_engine is None:
+            self._icoll_engine = self.runtime.icoll_state(
+                self.context, self.group
+            )
+        return self._icoll_engine.start(
+            self._epoch, kind, self.rank, payload,
+            root=root, op=op, algorithm=algorithm, chunk_bytes=chunk_bytes,
+        )
+
+    def ibarrier(self) -> Request:
+        """Nonblocking barrier: the request completes once every rank
+        has entered (progressed by test/wait like any icoll)."""
+        return self._istart("ibarrier", None)
+
+    def ibcast(
+        self, obj: Any = None, root: int = 0, *,
+        algorithm: Optional[str] = None, chunk_bytes: Optional[int] = None,
+    ) -> Request:
+        return self._istart(
+            "ibcast", obj, root=root,
+            algorithm=algorithm, chunk_bytes=chunk_bytes,
+        )
+
+    def ireduce(
+        self, obj: Any, op: Op = SUM, root: int = 0, *,
+        algorithm: Optional[str] = None, chunk_bytes: Optional[int] = None,
+    ) -> Request:
+        return self._istart(
+            "ireduce", obj, root=root, op=op,
+            algorithm=algorithm, chunk_bytes=chunk_bytes,
+        )
+
+    def iallreduce(
+        self, obj: Any, op: Op = SUM, *,
+        algorithm: Optional[str] = None, chunk_bytes: Optional[int] = None,
+    ) -> Request:
+        return self._istart(
+            "iallreduce", obj, op=op,
+            algorithm=algorithm, chunk_bytes=chunk_bytes,
+        )
+
+    def igather(
+        self, obj: Any, root: int = 0, *, algorithm: Optional[str] = None
+    ) -> Request:
+        return self._istart("igather", obj, root=root, algorithm=algorithm)
+
+    def iallgather(self, obj: Any, *, algorithm: Optional[str] = None) -> Request:
+        return self._istart("iallgather", obj, algorithm=algorithm)
+
+    def ialltoall(
+        self, objs: List[Any], *, algorithm: Optional[str] = None
+    ) -> Request:
+        return self._istart("ialltoall", objs, algorithm=algorithm)
+
+    def ineighbor_exchange(
+        self, sends: Dict[int, Any], *, algorithm: Optional[str] = None
+    ) -> Request:
+        """Neighborhood exchange: every rank contributes a
+        ``{neighbor_rank: payload}`` dict; the request's result is the
+        inverse view, ``{source_rank: payload}`` of everything sent to
+        this rank.  The stencil-halo primitive (see apps/eulermhd.py)."""
+        return self._istart("ineighbor_exchange", sends, algorithm=algorithm)
 
     # -------------------------------------------------------------- management
     def dup(self) -> "Comm":

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.runtime.message import Status
+
+logger = logging.getLogger(__name__)
 
 
 class Request:
@@ -22,6 +25,12 @@ class Request:
     #: (and how late a post racing the park is noticed under threads)
     WAITANY_PARK_CAP = 1.0
 
+    #: waitany calls that found requests parked on *different* runtimes
+    #: and fell back to polling (a park token from runtime A says
+    #: nothing about activity on runtime B, so parking on it could
+    #: sleep through B's completion for a full park cap per sweep)
+    mixed_backend_fallbacks = 0
+
     def __init__(
         self,
         *,
@@ -31,6 +40,7 @@ class Request:
         sleep: Optional[Callable[[float], None]] = None,
         park: Optional[Callable[[int, float], None]] = None,
         park_token: Optional[Callable[[], int]] = None,
+        park_owner: Optional[Any] = None,
     ) -> None:
         self.kind = kind
         self._try = try_complete
@@ -45,6 +55,9 @@ class Request:
         # wake the poller instead of being discovered by the next sweep.
         self._park = park
         self._park_token = park_token
+        # The runtime the park belongs to: waitany may only use the
+        # event-driven path when every parker in the list agrees.
+        self._park_owner = park_owner
         self._done = False
         self._result: Any = None
         self._status: Optional[Status] = None
@@ -77,7 +90,19 @@ class Request:
 
     @staticmethod
     def waitall(requests: List["Request"]) -> List[Any]:
-        return [r.wait() for r in requests]
+        """Wait for every request; returns results in request order.
+
+        Implemented as a :meth:`waitany` sweep, NOT ``[r.wait() for r
+        in requests]``: blocking on ``requests[0]`` head-of-line would
+        leave the later requests unprogressed (a ``CollectiveRequest``
+        only advances when tested) and an abort raised by any of them
+        unnoticed until the first one resolves."""
+        results: List[Any] = [None] * len(requests)
+        remaining = list(range(len(requests)))
+        while remaining:
+            j, value = Request.waitany([requests[i] for i in remaining])
+            results[remaining.pop(j)] = value
+        return results
 
     @staticmethod
     def testall(requests: List["Request"]) -> bool:
@@ -99,11 +124,25 @@ class Request:
         event-driven in the mailbox and need no such loop)."""
         if not requests:
             raise ValueError("waitany needs at least one request")
-        parker = next(
-            (r for r in requests
-             if r._park is not None and r._park_token is not None),
-            None,
-        )
+        parkers = [
+            r for r in requests
+            if r._park is not None and r._park_token is not None
+        ]
+        # The event-driven path parks on ONE request's condition; that
+        # is only sound when every parker answers to the same runtime
+        # (one runtime's activity token is stale for another's events).
+        # Mixed lists fall back to bounded polling, loudly counted.
+        owners = {id(r._park_owner) for r in parkers}
+        if len(owners) > 1:
+            Request.mixed_backend_fallbacks += 1
+            logger.debug(
+                "waitany: %d requests parked on %d different runtimes; "
+                "falling back to polling (fallback #%d)",
+                len(parkers), len(owners), Request.mixed_backend_fallbacks,
+            )
+            parker = None
+        else:
+            parker = parkers[0] if parkers else None
         sleep = next(
             (r._sleep for r in requests if r._sleep is not None), time.sleep
         )

@@ -123,7 +123,7 @@ class Runtime:
         schedule: Optional[Any] = None,
     ) -> None:
         if algorithm is not None:
-            if algorithm not in ("flat", "hierarchical"):
+            if algorithm not in ("flat", "hierarchical", "auto"):
                 raise MPIError(f"unknown collective algorithm {algorithm!r}")
             self.collective_algorithm = algorithm
         if sharing not in ("private", "shared"):
@@ -193,7 +193,18 @@ class Runtime:
         # n_tasks-element tuple (O(n^2) memory across the job at 4k+).
         self._world_group = tuple(range(self.n_tasks))
         self._coll_states: Dict[int, CollectiveState] = {}
+        #: shared nonblocking-collective engines, keyed by context like
+        #: the blocking states (see repro.runtime.icoll)
+        self._icoll_states: Dict[int, Any] = {}
         self._coll_lock = threading.Lock()
+        #: modeled per-cell link time (seconds per MiB moved) for the
+        #: nonblocking engine; 0.0 = no modeled time.  The scaling
+        #: benchmarks set this and run under backend="coop", so the
+        #: pipelined-vs-store-and-forward comparison is virtual-clock
+        #: deterministic.
+        self.icoll_link_time_per_mib = 0.0
+        #: lazily-loaded trajectory tuner (algorithm="auto" only)
+        self._tuner: Optional[Any] = None
         self._world_context = self.alloc_context()
         # Per-task stat shards, aggregated on read by the ``stats``
         # property: send-side counters land in the sender's shard, the
@@ -317,6 +328,8 @@ class Runtime:
         with self._coll_lock:
             for st in self._coll_states.values():
                 st.faults = injector
+            for st in self._icoll_states.values():
+                st.faults = injector
         return injector
 
     def fault_metrics(self):
@@ -431,6 +444,15 @@ class Runtime:
         space (never true for the process backend)."""
         return self.sharing == "shared" and self.shares_address_space(src, dst)
 
+    @property
+    def blocking_algorithm(self) -> str:
+        """The blocking engine behind ``algorithm="auto"``: the
+        topology tree when tasks share node address spaces, the flat
+        board otherwise (the process baseline)."""
+        if self.collective_algorithm != "auto":
+            return self.collective_algorithm
+        return "hierarchical" if self.shared_node_address_space else "flat"
+
     def collective_state(self, context: int, group) -> CollectiveState:
         """The shared collective engine of one communicator.  ``group``
         is the comm-rank -> world-rank tuple (a bare int is accepted as
@@ -441,7 +463,7 @@ class Runtime:
         with self._coll_lock:
             st = self._coll_states.get(context)
             if st is None:
-                if self.collective_algorithm == "hierarchical":
+                if self.blocking_algorithm == "hierarchical":
                     levels = collective_levels(
                         self.machine, [self._pin[w] for w in group]
                     )
@@ -468,6 +490,58 @@ class Runtime:
                     f"context {context} already bound to size {st.size}"
                 )
             return st
+
+    def icoll_state(self, context: int, group):
+        """The shared *nonblocking* collective engine of one
+        communicator (created lazily on the first ``Comm.i*`` call, so
+        communicators that never go nonblocking pay nothing)."""
+        from repro.runtime.icoll import IcollState
+
+        if isinstance(group, int):
+            group = tuple(range(group))
+        size = len(group)
+        with self._coll_lock:
+            st = self._icoll_states.get(context)
+            if st is None:
+                st = IcollState(
+                    size, self.abort_flag, timeout=self.timeout,
+                    clone=clone, metrics=self.collective_metrics,
+                    levels=collective_levels(
+                        self.machine, [self._pin[w] for w in group]
+                    ),
+                    group=tuple(group),
+                    share=self._collective_share_check(),
+                    faults=self.faults,
+                    make_cond=self._backend.condition,
+                    clock=self._backend.now,
+                    sleep=self.task_sleep,
+                    link_time=lambda: self.icoll_link_time_per_mib,
+                    selector=self._icoll_select,
+                    owner=self,
+                )
+                self._icoll_states[context] = st
+            elif st.size != size:
+                raise MPIError(
+                    f"context {context} already bound to icoll size {st.size}"
+                )
+            return st
+
+    def _icoll_select(self, kind: str, nbytes: int, size: int):
+        """Per-episode (algorithm, chunk_bytes) for nonblocking
+        collectives whose caller did not pin one.  ``auto`` consults
+        the measured trajectory (repro.runtime.autotune); the fixed
+        algorithms map directly."""
+        if self.collective_algorithm == "auto":
+            if self._tuner is None:
+                from repro.runtime.autotune import CollectiveTuner
+
+                self._tuner = CollectiveTuner.from_bench()
+            return self._tuner.select(kind, nbytes, size, self.sharing)
+        if self.collective_algorithm == "hierarchical":
+            from repro.runtime.icoll import DEFAULT_CHUNK_BYTES
+
+            return "pipelined", DEFAULT_CHUNK_BYTES
+        return "flat", 0
 
     def make_world_comm(self, rank: int) -> Comm:
         return Comm(self, self._world_context, self._world_group, rank)

@@ -124,11 +124,34 @@ def wl_rma(ctx):
     return (out, total)
 
 
+def wl_icoll(ctx):
+    """Nonblocking collectives: overlapping pipelined episodes drained
+    by one waitall, plus the neighborhood halo.  Every value is a
+    deterministic function of rank, so the result is schedule- and
+    perturbation-invariant."""
+    from repro.runtime import Request
+
+    c = ctx.comm_world
+    right = (ctx.rank + 1) % ctx.size
+    reqs = [
+        c.ibcast(np.arange(64.0) if ctx.rank == 0 else None, root=0,
+                 algorithm="pipelined", chunk_bytes=128),
+        c.iallreduce(np.arange(16.0) + ctx.rank, op=SUM,
+                     algorithm="pipelined", chunk_bytes=64),
+        c.ineighbor_exchange({right: float(ctx.rank)}),
+    ]
+    bcast, total, halo = Request.waitall(reqs)
+    left = (ctx.rank - 1) % ctx.size
+    return (float(bcast[-1]), float(total[0]), halo[left])
+
+
 def run_workload(name, rt):
     if name == "p2p":
         return rt.run(wl_p2p_alltoall)
     if name == "coll":
         return rt.run(wl_collectives)
+    if name == "icoll":
+        return rt.run(wl_icoll)
     if name == "hls":
         prog = HLSProgram(rt)
         prog.declare("q", shape=(2,), scope="node")
@@ -143,6 +166,7 @@ def run_workload(name, rt):
 WORKLOAD_SITES = {
     "p2p": ("p2p.post", "p2p.recv", "p2p.alloc"),
     "coll": ("coll.sweep",),
+    "icoll": ("coll.ichunk",),
     "hls": ("hls.single", "hls.nowait", "hls.barrier"),
     "rma": ("rma.put", "rma.get", "rma.epoch"),
 }
@@ -161,7 +185,7 @@ def check_clean(name, plan, outcome_ok):
 
 
 # ------------------------------------------------------------- seeded sweep
-@pytest.mark.parametrize("workload", ["p2p", "coll", "hls", "rma"])
+@pytest.mark.parametrize("workload", ["p2p", "coll", "icoll", "hls", "rma"])
 @pytest.mark.parametrize("seed", range(N_SEEDS))
 def test_chaos_sweep_terminates_cleanly(workload, seed):
     """Random plan, real workload: clean result or clean MPIError,
@@ -203,7 +227,7 @@ def canonical(workload, result):
     return result
 
 
-@pytest.mark.parametrize("workload", ["p2p", "coll", "hls", "rma"])
+@pytest.mark.parametrize("workload", ["p2p", "coll", "icoll", "hls", "rma"])
 def test_chaos_soft_perturbations_preserve_results(workload):
     """Crash-free plans may slow a run down but must not corrupt it:
     the perturbed result equals the undisturbed one."""
@@ -233,6 +257,7 @@ CRASH_SITES = [
     ("p2p.post", "p2p"),       # delivery, sender side
     ("p2p.recv", "p2p"),       # delivery, receiver side
     ("coll.sweep", "coll"),    # collective sweep
+    ("coll.ichunk", "icoll"),  # nonblocking collective deposit/cell
     ("hls.barrier", "hls"),    # scope barrier
     ("hls.single", "hls"),     # hls single (nowait enter in the workload)
     ("rma.put", "rma"),        # one-sided store/accumulate
@@ -325,7 +350,7 @@ def check_clean_artifact(name, rt, plan, outcome_ok):
     )
 
 
-@pytest.mark.parametrize("workload", ["p2p", "coll", "hls", "rma"])
+@pytest.mark.parametrize("workload", ["p2p", "coll", "icoll", "hls", "rma"])
 @pytest.mark.parametrize("seed", range(min(N_SEEDS, 10)))
 def test_chaos_under_random_coop_schedules_terminates(workload, seed):
     """The chaos sweep, rerun with the schedule itself randomised: the
@@ -351,7 +376,7 @@ def test_chaos_under_random_coop_schedules_terminates(workload, seed):
         assert rt.abort_recovery_s < TIMEOUT
 
 
-@pytest.mark.parametrize("workload", ["p2p", "coll", "hls", "rma"])
+@pytest.mark.parametrize("workload", ["p2p", "coll", "icoll", "hls", "rma"])
 def test_chaos_with_schedule_replays_as_one_artifact(workload, tmp_path):
     """Record a fault-perturbed coop run, capture (plan, trace) in one
     ChaosArtifact, replay from the artifact alone: identical injection

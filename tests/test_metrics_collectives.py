@@ -13,7 +13,23 @@ class TestCounting:
             "full_comm_episodes": 0,
             "clones": 0,
             "clones_elided": 0,
+            "icoll_episodes": {},
+            "icoll_cells": 0,
+            "icoll_steals": 0,
         }
+
+    def test_icoll_counters(self):
+        m = CollectiveMetrics()
+        m.note_icoll_episode("pipelined")
+        m.note_icoll_episode("pipelined")
+        m.note_icoll_episode("flat")
+        m.note_icoll_cell(stolen=False)
+        m.note_icoll_cell(stolen=True)
+        snap = m.snapshot()
+        assert snap["icoll_episodes"] == {"pipelined": 2, "flat": 1}
+        assert snap["icoll_cells"] == 2
+        assert snap["icoll_steals"] == 1
+        assert "icoll cells" in m.render()
 
     def test_full_comm_episode_requires_full_arity(self):
         m = CollectiveMetrics()

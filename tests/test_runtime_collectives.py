@@ -190,3 +190,83 @@ class TestBackToBackCollectives:
         n = 4
         res = run(n, main)
         assert res == [sum(i * n for i in range(30))] * n
+
+
+class TestMutatingOpDiscipline:
+    """Regression: the flat board reduce/allreduce/scan folded peer
+    contributions straight off the blackboard without cloning, so an op
+    that mutates its arguments (or returns a view of one) corrupted
+    other ranks' board entries mid-collective.  The fold boundary must
+    clone, exactly like alltoall's delivery discipline."""
+
+    @staticmethod
+    def _mutating_sum(a, b):
+        # pathological but legal: accumulates into its *right* argument
+        # in place and returns it -- pre-fix that argument was the
+        # board entry, i.e. the contributing rank's live buffer
+        if isinstance(b, np.ndarray):
+            b += a
+            return b
+        return a + b
+
+    @pytest.mark.parametrize("algorithm", ["flat", "hierarchical"])
+    def test_allreduce_mutating_op_board_not_corrupted(self, algorithm):
+        n = 4
+
+        def main(ctx):
+            mine = np.full(8, float(ctx.rank + 1))
+            out = ctx.comm_world.allreduce(mine, self._mutating_sum)
+            # the caller's own buffer must also be intact: a fold that
+            # aliased board entries would have accumulated into it
+            return out, mine
+
+        res = Runtime(n_tasks=n, algorithm=algorithm, timeout=5.0).run(main)
+        expected = float(sum(range(1, n + 1)))
+        for rank, (out, mine) in enumerate(res):
+            assert np.array_equal(out, np.full(8, expected)), (rank, out)
+            assert np.array_equal(mine, np.full(8, float(rank + 1))), (
+                f"rank {rank}'s contribution was mutated: {mine}"
+            )
+
+    @pytest.mark.parametrize("algorithm", ["flat", "hierarchical"])
+    def test_reduce_and_scan_mutating_op(self, algorithm):
+        n = 4
+
+        def main(ctx):
+            mine = np.full(4, float(ctx.rank + 1))
+            r = ctx.comm_world.reduce(mine, self._mutating_sum, root=2)
+            s = ctx.comm_world.scan(mine, self._mutating_sum)
+            return r, s, mine
+
+        res = Runtime(n_tasks=n, algorithm=algorithm, timeout=5.0).run(main)
+        for rank, (r, s, mine) in enumerate(res):
+            if rank == 2:
+                assert np.array_equal(r, np.full(4, 10.0))
+            else:
+                assert r is None
+            assert np.array_equal(
+                s, np.full(4, float(sum(range(1, rank + 2))))
+            ), (rank, s)
+            assert np.array_equal(mine, np.full(4, float(rank + 1)))
+
+    def test_view_returning_op(self):
+        """An op returning a view of its right argument must not leak
+        board aliases into the result handed to callers."""
+        n = 3
+
+        def pick_right_view(a, b):
+            return b[:] if isinstance(b, np.ndarray) else b
+
+        def main(ctx):
+            mine = np.full(4, float(ctx.rank))
+            out = ctx.comm_world.allreduce(mine, pick_right_view)
+            out += 100.0          # caller mutates its result...
+            return ctx.comm_world.allgather(mine)
+
+        res = Runtime(n_tasks=n, algorithm="flat", timeout=5.0).run(main)
+        # ...which must not have been anyone's live contribution
+        for rank, gathered in enumerate(res):
+            assert gathered == [
+                pytest.approx(np.full(4, float(r)).tolist())
+                for r in range(n)
+            ], (rank, gathered)
