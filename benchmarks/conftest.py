@@ -25,7 +25,8 @@ _ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
 #: per-artifact measurement queues, drained at session end
 _QUEUES = {"p2p": [], "rma": [], "memory": [], "sched": [],
-           "loadbalance": [], "storage": [], "collectives": []}
+           "loadbalance": [], "storage": [], "collectives": [],
+           "service": []}
 _PATHS = {
     "p2p": os.path.join(_ROOT, "BENCH_p2p.json"),
     "rma": os.path.join(_ROOT, "BENCH_rma.json"),
@@ -34,6 +35,7 @@ _PATHS = {
     "loadbalance": os.path.join(_ROOT, "BENCH_loadbalance.json"),
     "storage": os.path.join(_ROOT, "BENCH_storage.json"),
     "collectives": os.path.join(_ROOT, "BENCH_collectives.json"),
+    "service": os.path.join(_ROOT, "BENCH_service.json"),
 }
 
 
@@ -86,6 +88,13 @@ def record_storage(name, **fields):
     overhead vs in-memory at each capacity ratio) for the
     BENCH_storage.json trajectory."""
     _QUEUES["storage"].append({"name": name, **fields})
+
+
+def record_service(name, **fields):
+    """Queue one job-service load measurement (concurrent tenants,
+    isolation outcome, admission/queue counters, latency percentiles)
+    for the BENCH_service.json trajectory."""
+    _QUEUES["service"].append({"name": name, **fields})
 
 
 def _append_trajectory(path, results):

@@ -48,6 +48,12 @@ class HLSProgram:
         self.sync = HLSSync(runtime, barrier_algorithm=barrier_algorithm)
         runtime.migration_checks.append(self.sync.check_migration)
 
+    def close(self) -> None:
+        """Release the program's materialised HLS/TLS images so the
+        runtime's finalize leak report comes back clean.  Call after
+        the last ``run()`` that touches this program's variables."""
+        self.storage.release()
+
     # ------------------------------------------------------------- declaring
     def declare(
         self,

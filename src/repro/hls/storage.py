@@ -44,6 +44,8 @@ class ModuleImage:
     buffer: np.ndarray        # uint8 backing storage
     alloc: Allocation         # simulated placement (for traces/accounting)
     module: HLSModule
+    space: object = None      # the address space the alloc came from
+                              # (release() frees it there at teardown)
 
     def view(self, var: HLSVariable) -> np.ndarray:
         """The ndarray view of one variable inside this image."""
@@ -111,12 +113,27 @@ class HLSStorage:
                 owner=None if kind == "hls" else rank,
             )
             buf = np.zeros(module.image_bytes, dtype=np.uint8)
-            img = ModuleImage(buffer=buf, alloc=alloc, module=module)
+            img = ModuleImage(buffer=buf, alloc=alloc, module=module,
+                              space=space)
             # Initialize every variable of the module now (first use).
             for var in module.variables.values():
                 img.view(var)[...] = var.initial_value()
             self._images[key] = img
             return img
+
+    def release(self) -> None:
+        """Free every materialised image's simulated allocation.
+
+        Called by :meth:`HLSProgram.close` at program teardown so a
+        finished job's ``Runtime.finalize()`` leak report comes back
+        clean (the job service enforces that).  Idempotent; images are
+        re-materialised on next use if the program keeps running."""
+        with self._master:
+            images, self._images = dict(self._images), {}
+            self._locks = {}
+        for img in images.values():
+            if img.space is not None:
+                img.space.free(img.alloc)
 
     # ------------------------------------------------------------- addressing
     def slot_key(self, ctx: "TaskContext", var: HLSVariable) -> _SlotKey:

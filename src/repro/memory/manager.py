@@ -103,9 +103,16 @@ class MemoryManager:
         runtime,
         *,
         registry: Optional[BaseAddressRegistry] = None,
+        namespace: Optional[str] = None,
     ) -> None:
         self.runtime = runtime
         self.registry = registry if registry is not None else BaseAddressRegistry()
+        #: reservation-name prefix: empty for a private registry (the
+        #: historical names), a unique per-runtime tag when the registry
+        #: is shared between concurrent runtimes (repro.service) so
+        #: sibling runtimes' reservations can never collide
+        self.namespace = namespace or ""
+        self._prefix = f"{self.namespace}:" if self.namespace else ""
         self._arenas: Dict[Tuple, Arena] = {}
         self._lock = threading.Lock()
         self._spiller = None
@@ -155,7 +162,7 @@ class MemoryManager:
         key = ("scope", inst)
 
         def make() -> Arena:
-            base, limit = self.registry.reserve(f"scope:{inst}")
+            base, limit = self.registry.reserve(f"{self._prefix}scope:{inst}")
             return Arena(
                 base=base, limit=limit, name=f"arena:{inst}",
                 level=scope_level(spec), scope=inst,
@@ -175,7 +182,7 @@ class MemoryManager:
         key = ("task", rank)
 
         def make() -> Arena:
-            base, limit = self.registry.reserve(f"task:{rank}")
+            base, limit = self.registry.reserve(f"{self._prefix}task:{rank}")
             return Arena(
                 base=base, limit=limit, name=f"proc{rank}",
                 level=LEVEL_TASK, owner_task=rank,
@@ -190,7 +197,12 @@ class MemoryManager:
         key = ("segment", node)
 
         def make() -> Arena:
-            base, limit = self.registry.reserve_shared(SEGMENT_KEY)
+            # the isomalloc aliasing must hold between *this runtime's*
+            # nodes only: namespace the shared key so two jobs sharing
+            # one registry never alias each other's HLS segments
+            base, limit = self.registry.reserve_shared(
+                f"{self._prefix}{SEGMENT_KEY}"
+            )
             return Arena(
                 base=base, limit=limit, name=f"hls-segment-node{node}",
                 level=LEVEL_SEGMENT, node=node,

@@ -53,7 +53,23 @@ class BaseAddressRegistry:
         self._next = ((floor + region_bytes - 1) // region_bytes) * region_bytes
         self._regions: Dict[str, Tuple[int, int]] = {}
         self._shared: Dict[str, Tuple[int, int]] = {}
+        self._namespaces = 0
         self._lock = threading.Lock()
+
+    def make_namespace(self, prefix: str = "rt") -> str:
+        """A fresh namespace string (``rt0``, ``rt1``, ...).
+
+        A registry shared between runtimes (the multi-tenant job
+        service) hands each runtime a unique namespace; the memory
+        manager prefixes every reservation name with it, so two
+        runtimes' ``scope:...`` names can never collide in
+        :meth:`reserve` -- and the per-namespace shared keys keep each
+        runtime's isomalloc segments aliased only with *its own*
+        nodes' segments, never a sibling job's."""
+        with self._lock:
+            ns = f"{prefix}{self._namespaces}"
+            self._namespaces += 1
+            return ns
 
     def _carve(self) -> Tuple[int, int]:
         base = self._next

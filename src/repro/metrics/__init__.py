@@ -8,6 +8,11 @@ from repro.metrics.p2p import P2PMetrics
 from repro.metrics.rma import RMAMetrics
 from repro.metrics.sched import SchedMetrics
 from repro.metrics.storage import StorageMetrics
+from repro.metrics.registry import (
+    MetricsSnapshot,
+    build_snapshot,
+    build_subsystem,
+)
 from repro.metrics.perf import parallel_efficiency, relative_performance
 from repro.metrics.report import Table, format_mb
 from repro.metrics.ascii_plot import line_chart
@@ -23,6 +28,9 @@ __all__ = [
     "RMAMetrics",
     "SchedMetrics",
     "StorageMetrics",
+    "MetricsSnapshot",
+    "build_snapshot",
+    "build_subsystem",
     "parallel_efficiency",
     "relative_performance",
     "Table",

@@ -55,6 +55,20 @@ class MemoryMetrics:
     def total_bytes(self) -> int:
         return sum(self.per_node.values())
 
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready dict for the unified metrics registry (node keys
+        stringified for JSON round-tripping)."""
+        return {
+            "total_bytes": self.total_bytes,
+            "per_node": {str(n): b for n, b in self.per_node.items()},
+            "by_level": dict(self.by_level),
+            "by_kind": dict(self.by_kind),
+            "per_node_by_level": {
+                str(n): dict(levels)
+                for n, levels in self.per_node_by_level.items()
+            },
+        }
+
     def render(self) -> str:
         lines = ["memory metrics:"]
         for node in sorted(self.per_node):

@@ -121,6 +121,8 @@ class Runtime:
         faults: Optional[Any] = None,
         backend: str = "threads",
         schedule: Optional[Any] = None,
+        registry: Optional[Any] = None,
+        name: Optional[str] = None,
     ) -> None:
         if algorithm is not None:
             if algorithm not in ("flat", "hierarchical", "auto"):
@@ -218,8 +220,18 @@ class Runtime:
         self.post_move_hooks: List[Callable[[int, int], None]] = []
         #: scope-aware arena layer: every simulated allocation in this
         #: runtime (HLS images, comm pools, RMA windows, app data) comes
-        #: from one of its arenas -- see repro.memory
-        self.memory = MemoryManager(self)
+        #: from one of its arenas -- see repro.memory.
+        #:
+        #: When ``registry`` is given, this runtime draws its arena
+        #: regions from a *shared* BaseAddressRegistry (the multi-tenant
+        #: job service runs many runtimes against one registry, so every
+        #: job's regions are provably disjoint from every other job's).
+        #: Each runtime then gets a unique namespace so its arena names
+        #: cannot collide with a sibling runtime's.
+        if registry is not None and name is None:
+            name = registry.make_namespace("rt")
+        self.name = name
+        self.memory = MemoryManager(self, registry=registry, namespace=name)
         #: RMA windows ever created on this runtime (repro.runtime.rma);
         #: aggregated by rma_metrics()
         self._windows: List[Any] = []
@@ -239,8 +251,13 @@ class Runtime:
         #: aggregated by loadbalance_metrics()
         self._loop_reports: List[Any] = []
         self._loop_lock = threading.Lock()
-        #: the runtime's own pool allocations, released by finalize()
+        #: the runtime's own pool allocations, released by finalize();
+        #: the lock makes finalize safe under concurrent callers (two
+        #: racing finalizers must not double-release) and closes the
+        #: window where an eager-buffer allocation lands after the pool
+        #: list was drained
         self._pool_allocs: List[tuple] = []
+        self._final_lock = threading.Lock()
         self._finalized = False
         self._alloc_runtime_memory()
         self.contexts: List[Optional[TaskContext]] = [None] * self.n_tasks
@@ -289,18 +306,43 @@ class Runtime:
         """Aggregated self-scheduling counters of every
         ``repro.scheduler.dynamic_for`` loop this runtime ran: per-task
         busy/idle time, chunks claimed locally vs stolen, steal
-        attempts/failures, and the c.o.v. of task finish times."""
-        from repro.metrics.loadbalance import LoadBalanceMetrics
+        attempts/failures, and the c.o.v. of task finish times.
 
-        return LoadBalanceMetrics.from_runtime(self)
+        Deprecation shim: delegates to the unified registry
+        (``metrics("loadbalance")``)."""
+        return self.metrics("loadbalance")
 
     def sched_metrics(self):
         """Snapshot of the scheduler counters (context switches, parks,
         wake sources, run-queue depth; zeros under the threads backend
-        where the OS owns the interleaving)."""
-        from repro.metrics.sched import SchedMetrics
+        where the OS owns the interleaving).
 
-        return SchedMetrics.from_runtime(self)
+        Deprecation shim: delegates to ``metrics("sched")``."""
+        return self.metrics("sched")
+
+    # ----------------------------------------------------------- metrics
+    def metrics(self, subsystem: Optional[str] = None):
+        """The unified metrics entry point (repro.metrics.registry).
+
+        With no argument, returns one
+        :class:`~repro.metrics.registry.MetricsSnapshot` covering every
+        registered subsystem (p2p, collectives, rma, sched, faults,
+        memory, storage, loadbalance) -- the JSON-ready unit the job
+        service streams per job.  With a subsystem name, returns that
+        subsystem's metrics object (exactly what the legacy
+        ``*_metrics()`` methods return; they are shims over this)."""
+        from repro.metrics.registry import build_snapshot, build_subsystem
+
+        if subsystem is None:
+            return build_snapshot(self)
+        return build_subsystem(subsystem, self)
+
+    def collectives_metrics(self):
+        """The collective-path counters (episode/clone/elision tallies;
+        the live object also reachable as ``collective_metrics``).
+
+        Deprecation shim: delegates to ``metrics("collectives")``."""
+        return self.metrics("collectives")
 
     def schedule_trace(self):
         """The canonical schedule trace recorded by the last coop run
@@ -319,7 +361,15 @@ class Runtime:
 
         if isinstance(plan, FaultInjector):
             injector = plan
-            injector.runtime = self
+            if injector.runtime is not None and injector.runtime is not self:
+                # Hit counters and the runtime backref are per-runtime
+                # state: an injector already executing against another
+                # runtime must not be shared (its counters would count
+                # both jobs' hits).  Derive a fresh injector from the
+                # same plan instead.
+                injector = FaultInjector(injector.plan, runtime=self)
+            else:
+                injector.runtime = self
         else:
             injector = FaultInjector(plan, runtime=self)
         self.faults = injector
@@ -334,10 +384,10 @@ class Runtime:
 
     def fault_metrics(self):
         """Snapshot of the chaos counters (injections fired, aborts
-        propagated, comm-buffer retries, recovery latency)."""
-        from repro.metrics.faults import FaultMetrics
+        propagated, comm-buffer retries, recovery latency).
 
-        return FaultMetrics.from_runtime(self)
+        Deprecation shim: delegates to ``metrics("faults")``."""
+        return self.metrics("faults")
 
     # ------------------------------------------------------------- placement
     def task_pu(self, rank: int) -> int:
@@ -382,22 +432,29 @@ class Runtime:
     def memory_metrics(self):
         """Snapshot of the arena layer's accounting: live bytes per
         node, broken down by hierarchy level (node/numa/cache(L)/core/
-        task/segment) and by allocation kind."""
-        from repro.metrics.memory import MemoryMetrics
+        task/segment) and by allocation kind.
 
-        return MemoryMetrics.from_runtime(self)
+        Deprecation shim: delegates to ``metrics("memory")``."""
+        return self.metrics("memory")
 
     def finalize(self) -> LeakReport:
         """Shut the runtime's memory accounting down: release the comm
         pools the runtime itself allocated, then report everything of
         kind ``runtime``/``hls``/``rma`` still live -- each record names
-        its arena, hierarchy level, owner task and label.  Idempotent."""
-        if not self._finalized:
+        its arena, hierarchy level, owner task and label.  Idempotent,
+        and safe under concurrent callers: the pool list is swapped out
+        under a lock, so two threads racing finalize release disjoint
+        (one full, one empty) sets of allocations."""
+        with self._final_lock:
+            pools, self._pool_allocs = self._pool_allocs, []
             self._finalized = True
-            for space, alloc in self._pool_allocs:
-                space.free(alloc)
-            self._pool_allocs = []
+        for space, alloc in pools:
+            space.free(alloc)
         return self.memory.leak_report()
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
 
     def comm_buffer_bytes(self, local_tasks: int, total_tasks: int) -> int:
         return (
@@ -561,10 +618,10 @@ class Runtime:
 
     def p2p_metrics(self):
         """Snapshot of the point-to-point path counters (matcher
-        comparisons, wakeups, traffic and copy-elision statistics)."""
-        from repro.metrics.p2p import P2PMetrics
+        comparisons, wakeups, traffic and copy-elision statistics).
 
-        return P2PMetrics.from_runtime(self)
+        Deprecation shim: delegates to ``metrics("p2p")``."""
+        return self.metrics("p2p")
 
     # ------------------------------------------------------------------- rma
     def register_window(self, shared: Any) -> int:
@@ -577,10 +634,10 @@ class Runtime:
     def rma_metrics(self):
         """Snapshot of the one-sided counters aggregated over every
         window (ops, bytes, staged copies, zero-copy hits, epoch
-        waits, chunk-lock acquisitions/waits)."""
-        from repro.metrics.rma import RMAMetrics
+        waits, chunk-lock acquisitions/waits).
 
-        return RMAMetrics.from_runtime(self)
+        Deprecation shim: delegates to ``metrics("rma")``."""
+        return self.metrics("rma")
 
     # --------------------------------------------------------------- storage
     def attach_store(self, store: Any) -> None:
@@ -611,10 +668,10 @@ class Runtime:
         """Snapshot of the out-of-core counters: chunk reads/writes and
         bytes, manifest commits per attached store, plus the spill
         layer's residency statistics (spills, faults, resident/peak
-        bytes)."""
-        from repro.metrics.storage import StorageMetrics
+        bytes).
 
-        return StorageMetrics.from_runtime(self)
+        Deprecation shim: delegates to ``metrics("storage")``."""
+        return self.metrics("storage")
 
     def _comm_alloc(
         self, space: AddressSpace, nbytes: int, *, label: str, owner: int,
@@ -633,8 +690,14 @@ class Runtime:
                 alloc = space.alloc(nbytes, label=label, kind="runtime",
                                     owner=owner)
                 # eager buffers live for the whole run; finalize()
-                # releases them with the static pools
-                self._pool_allocs.append((space, alloc))
+                # releases them with the static pools.  If a racing
+                # finalize already drained the pool list, release the
+                # buffer immediately so it cannot leak past teardown.
+                with self._final_lock:
+                    if not self._finalized:
+                        self._pool_allocs.append((space, alloc))
+                        return alloc
+                space.free(alloc)
                 return alloc
             except TransientCommError:
                 if attempt >= self.ALLOC_RETRIES:

@@ -1,0 +1,47 @@
+"""The multi-tenant job service (DESIGN.md section 17).
+
+Layers a long-running service over the runtime without changing its
+programming model: declarative :class:`JobSpec` submissions resolve
+through an :class:`AppRegistry`, a :class:`JobManager` runs many
+runtimes concurrently against one shared
+:class:`~repro.memory.registry.BaseAddressRegistry` with admission
+control from arena accounting, ``Runtime.finalize()`` leak reports are
+enforced per job, and unified ``Runtime.metrics()`` snapshots stream
+from a stdlib-HTTP observability endpoint (``repro-serve``).
+
+Quick use::
+
+    from repro.service import JobManager, JobSpec
+
+    with JobManager(capacity_bytes=1 << 30, max_workers=8) as mgr:
+        job = mgr.submit(JobSpec(app="ring", n_tasks=4, backend="coop"))
+        mgr.wait(job)
+        print(job.results, mgr.job_metrics(job.id)["p2p"])
+"""
+
+from repro.service.apps import AppEntry, AppRegistry, DEFAULT_APPS
+from repro.service.errors import (
+    AdmissionError,
+    JobLeakError,
+    QueueFullError,
+    ServiceError,
+    UnknownAppError,
+)
+from repro.service.manager import Job, JobManager
+from repro.service.server import ObservabilityServer
+from repro.service.spec import JobSpec
+
+__all__ = [
+    "AdmissionError",
+    "AppEntry",
+    "AppRegistry",
+    "DEFAULT_APPS",
+    "Job",
+    "JobLeakError",
+    "JobManager",
+    "JobSpec",
+    "ObservabilityServer",
+    "QueueFullError",
+    "ServiceError",
+    "UnknownAppError",
+]

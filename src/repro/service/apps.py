@@ -1,0 +1,246 @@
+"""The app registry: job names -> runnable programs.
+
+Jobs are declarative: a :class:`~repro.service.spec.JobSpec` names an
+app and passes parameters; the registry maps the name to code.  Two
+kinds of entry exist:
+
+* **task** apps -- a factory ``factory(rt, **params) -> main`` that
+  builds the per-task ``main(ctx)`` for a *managed* runtime.  The
+  :class:`~repro.service.manager.JobManager` constructs the runtime
+  (shared :class:`~repro.memory.registry.BaseAddressRegistry`, chosen
+  backend/sharing/fault plan), calls ``rt.run(main)``, snapshots
+  ``rt.metrics()`` and enforces the ``finalize()`` leak report.  The
+  built-in kernels below are deterministic: for a fixed ``(seed,
+  n_tasks)`` they return bit-identical per-rank checksums on every
+  backend and sharing -- the property the load harness uses to assert
+  cross-job isolation.
+
+* **driver** apps -- the existing self-contained :mod:`repro.apps`
+  entry points (``run_mesh_update``, ``run_matmul``, ...).  They build
+  their own runtime internally, so the service runs them as opaque
+  units: admission control still applies (declared footprint), but the
+  unified metrics snapshot does not.
+
+Both kinds are registered under plain names so a JSON job submission
+fully describes a run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.service.errors import UnknownAppError
+
+
+@dataclass(frozen=True)
+class AppEntry:
+    """One registered app."""
+
+    name: str
+    kind: str                                # "task" | "driver"
+    factory: Optional[Callable] = None       # task: (rt, **params) -> main
+    driver: Optional[Callable] = None        # driver: (config) -> result
+    config_cls: Optional[type] = None        # driver: params -> config
+    description: str = ""
+
+
+class AppRegistry:
+    """Name -> :class:`AppEntry` mapping (instance-scoped: tests build
+    private registries; the module-level :data:`DEFAULT_APPS` is only a
+    default argument, never hidden mutable state of a manager)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, AppEntry] = {}
+
+    def register(self, entry: AppEntry) -> AppEntry:
+        if entry.name in self._entries:
+            raise ValueError(f"app {entry.name!r} already registered")
+        if entry.kind not in ("task", "driver"):
+            raise ValueError(f"unknown app kind {entry.kind!r}")
+        if entry.kind == "task" and entry.factory is None:
+            raise ValueError("task apps need a factory")
+        if entry.kind == "driver" and (
+            entry.driver is None or entry.config_cls is None
+        ):
+            raise ValueError("driver apps need driver and config_cls")
+        self._entries[entry.name] = entry
+        return entry
+
+    def task(self, name: str, description: str = ""):
+        """Decorator: register a task-app factory under ``name``."""
+        def deco(factory: Callable) -> Callable:
+            self.register(AppEntry(
+                name=name, kind="task", factory=factory,
+                description=description,
+            ))
+            return factory
+        return deco
+
+    def get(self, name: str) -> AppEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownAppError(
+                f"unknown app {name!r}; registered: "
+                + ", ".join(sorted(self._entries))
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def describe(self) -> Dict[str, Dict[str, str]]:
+        return {
+            n: {"kind": e.kind, "description": e.description}
+            for n, e in sorted(self._entries.items())
+        }
+
+
+def _crc(arr: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes())
+
+
+#: the default registry every JobManager uses unless handed another
+DEFAULT_APPS = AppRegistry()
+
+
+@DEFAULT_APPS.task("ring", "p2p ring exchange; returns per-rank checksums")
+def _ring_factory(rt, *, seed: int = 0, elems: int = 128, rounds: int = 2,
+                  spin: int = 0):
+    """Each rank passes a deterministic payload around the ring
+    ``rounds`` times, folding a crc per hop, then allreduces the crcs.
+    ``spin`` adds busy work per hop (wall-clock occupancy for the load
+    harness's concurrency window)."""
+
+    def main(ctx):
+        comm = ctx.comm_world
+        n = comm.size
+        data = np.arange(int(elems), dtype=np.int64) * (int(seed) + 1) + ctx.rank
+        acc = _crc(data)
+        for r in range(int(rounds)):
+            comm.send(data, (ctx.rank + 1) % n, tag=r)
+            data = comm.recv(source=(ctx.rank - 1) % n, tag=r, own=True)
+            acc = zlib.crc32(data.tobytes(), acc)
+            for _ in range(int(spin)):
+                acc = zlib.crc32(data.tobytes(), acc)
+        total = comm.allreduce(int(acc))
+        return (ctx.rank, int(acc), int(total))
+
+    return main
+
+
+@DEFAULT_APPS.task("allreduce", "collective fold; returns shared checksum")
+def _allreduce_factory(rt, *, seed: int = 0, elems: int = 256,
+                       rounds: int = 2):
+    def main(ctx):
+        comm = ctx.comm_world
+        data = (np.arange(int(elems), dtype=np.int64) + int(seed)
+                + ctx.rank * 7)
+        total = data
+        for _ in range(int(rounds)):
+            total = comm.allreduce(total)
+        comm.barrier()
+        return _crc(total)
+
+    return main
+
+
+@DEFAULT_APPS.task("hls_table", "node-scope HLS shared table; ranks "
+                                "checksum the single-written contents")
+def _hls_table_factory(rt, *, seed: int = 0, elems: int = 64):
+    from repro.hls import HLSProgram
+
+    prog = HLSProgram(rt, enabled=True)
+    prog.declare("T", shape=(int(elems),), dtype=np.float64, scope="node")
+
+    def main(ctx):
+        h = prog.attach(ctx)
+
+        def fill():
+            h.get("T")[:] = np.arange(int(elems), dtype=np.float64) + int(seed)
+
+        h.single("T", fill)
+        h.barrier("T")
+        return _crc(h.get("T"))
+
+    main.cleanup = prog.close
+    return main
+
+
+@DEFAULT_APPS.task("alloc_churn", "allocate/free churn against the job's "
+                                  "arenas; leak=True leaks on purpose")
+def _alloc_churn_factory(rt, *, nbytes: int = 1 << 16, iters: int = 8,
+                         leak: bool = False):
+    def main(ctx):
+        live = []
+        for i in range(int(iters)):
+            a = ctx.alloc(int(nbytes), label=f"churn{i}-r{ctx.rank}",
+                          kind="hls")
+            live.append(a)
+        keep = 1 if leak else 0
+        for a in live[keep:]:
+            ctx.free(a)
+        ctx.comm_world.barrier()
+        return int(nbytes) * keep
+
+    return main
+
+
+@DEFAULT_APPS.task("hog", "over-allocates its arena; dies with "
+                          "AddressSpaceExhausted")
+def _hog_factory(rt, *, factor: int = 2):
+    def main(ctx):
+        space = rt.space_for(ctx.rank)
+        want = (space.limit - space.base) * int(factor)
+        a = ctx.alloc(int(want), label=f"hog-r{ctx.rank}")
+        ctx.free(a)  # pragma: no cover - alloc raises first
+        return 0
+
+    return main
+
+
+@DEFAULT_APPS.task("sleepy", "parks on the (virtual) clock, then barriers")
+def _sleepy_factory(rt, *, seconds: float = 0.01):
+    def main(ctx):
+        ctx.sleep(float(seconds))
+        ctx.comm_world.barrier()
+        return ctx.rank
+
+    return main
+
+
+def _register_paper_apps(registry: AppRegistry) -> None:
+    """The five paper evaluation drivers, registered declaratively."""
+    from repro.apps import (
+        EulerMHDConfig,
+        GadgetConfig,
+        MatmulConfig,
+        MeshUpdateConfig,
+        TachyonConfig,
+        run_eulermhd,
+        run_gadget,
+        run_matmul,
+        run_mesh_update,
+        run_tachyon,
+    )
+
+    for name, run, cfg in (
+        ("mesh_update", run_mesh_update, MeshUpdateConfig),
+        ("matmul", run_matmul, MatmulConfig),
+        ("eulermhd", run_eulermhd, EulerMHDConfig),
+        ("gadget", run_gadget, GadgetConfig),
+        ("tachyon", run_tachyon, TachyonConfig),
+    ):
+        registry.register(AppEntry(
+            name=name, kind="driver", driver=run, config_cls=cfg,
+            description=f"paper app {name} (self-contained driver)",
+        ))
+
+
+_register_paper_apps(DEFAULT_APPS)
+
+
+__all__ = ["AppEntry", "AppRegistry", "DEFAULT_APPS"]

@@ -1,0 +1,124 @@
+"""``repro-serve``: the job-service command-line entry point.
+
+Server mode (default) starts a :class:`JobManager` plus its HTTP
+observability endpoint and blocks until interrupted::
+
+    repro-serve --port 8900 --capacity-mb 4096 --queue-limit 128
+
+Client mode submits a JSON job spec to a running server and optionally
+waits for completion, polling the job endpoint::
+
+    repro-serve --submit job.json --url http://127.0.0.1:8900 --wait
+
+Demo mode (``--demo``) runs a self-contained burst of built-in kernel
+jobs against an in-process manager and prints the service metrics --
+the quickest smoke test of the whole service stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from typing import Optional
+
+from repro.service.manager import JobManager
+from repro.service.server import ObservabilityServer
+from repro.service.spec import JobSpec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="multi-tenant MPI-runtime job service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8900)
+    p.add_argument("--capacity-mb", type=int, default=None,
+                   help="admission-control memory capacity (MB); "
+                        "default: unbounded")
+    p.add_argument("--queue-limit", type=int, default=64)
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--no-leak-enforcement", action="store_true",
+                   help="do not fail jobs on non-empty leak reports")
+    p.add_argument("--submit", metavar="SPEC.json", default=None,
+                   help="client mode: POST the given job spec")
+    p.add_argument("--url", default=None,
+                   help="client mode: server base URL")
+    p.add_argument("--wait", action="store_true",
+                   help="client mode: poll until the job finishes")
+    p.add_argument("--demo", action="store_true",
+                   help="run a burst of kernel jobs in-process and exit")
+    return p
+
+
+def _client(args) -> int:
+    url = args.url or f"http://{args.host}:{args.port}"
+    with open(args.submit) as fh:
+        spec = JobSpec.from_json(fh.read())
+    req = urllib.request.Request(
+        f"{url}/jobs", data=spec.to_json().encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(req) as resp:
+        reply = json.load(resp)
+    print(json.dumps(reply, sort_keys=True))
+    if not args.wait:
+        return 0
+    job_id = reply["id"]
+    while True:
+        with urllib.request.urlopen(f"{url}/jobs/{job_id}") as resp:
+            info = json.load(resp)
+        if info["state"] in ("completed", "failed", "rejected"):
+            print(json.dumps(info, sort_keys=True))
+            return 0 if info["state"] == "completed" else 1
+        time.sleep(0.2)
+
+
+def _demo() -> int:
+    mgr = JobManager(capacity_bytes=512 << 20, max_workers=4)
+    jobs = [
+        mgr.submit(JobSpec(app="ring", n_tasks=4, backend="coop",
+                           params={"seed": i}))
+        for i in range(8)
+    ]
+    for job in jobs:
+        mgr.wait(job, timeout=60.0)
+    print(json.dumps(mgr.service_metrics(), indent=2, sort_keys=True))
+    mgr.shutdown()
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.demo:
+        return _demo()
+    if args.submit:
+        return _client(args)
+    capacity = (
+        args.capacity_mb << 20 if args.capacity_mb is not None else None
+    )
+    manager = JobManager(
+        capacity_bytes=capacity,
+        queue_limit=args.queue_limit,
+        max_workers=args.workers,
+        enforce_leaks=not args.no_leak_enforcement,
+    )
+    server = ObservabilityServer(manager, host=args.host, port=args.port)
+    server.start()
+    print(f"repro-serve listening on {server.url}", flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        manager.shutdown(wait=False)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

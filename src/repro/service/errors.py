@@ -1,0 +1,46 @@
+"""Service-layer errors (admission control, job lifecycle)."""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class of every job-service error."""
+
+
+class UnknownAppError(ServiceError):
+    """The job spec names an app the registry does not know."""
+
+
+class AdmissionError(ServiceError):
+    """The job was rejected at submission time.
+
+    Raised when the declared footprint can *never* fit the service's
+    memory capacity -- queueing would deadlock the queue head forever.
+    """
+
+
+class QueueFullError(AdmissionError):
+    """Backpressure: the job would fit eventually, but the bounded
+    admission queue is at its limit.  Clients should retry later."""
+
+
+class JobLeakError(ServiceError):
+    """``Runtime.finalize()`` reported unfreed allocations at job
+    teardown and the service enforces leak-free teardown."""
+
+    def __init__(self, job_id: int, report) -> None:
+        self.job_id = job_id
+        self.report = report
+        super().__init__(
+            f"job {job_id} leaked {report.total_bytes} bytes:\n"
+            + report.render()
+        )
+
+
+__all__ = [
+    "AdmissionError",
+    "JobLeakError",
+    "QueueFullError",
+    "ServiceError",
+    "UnknownAppError",
+]

@@ -1,0 +1,199 @@
+"""Concurrent multi-runtime isolation: N runtimes in one process,
+drawing arenas from one shared :class:`BaseAddressRegistry`, must be
+invisible to each other -- disjoint address regions, independent
+metrics, independent fault plans, independent leak reports.  This is
+the unit-level version of the service load harness's guarantee."""
+
+from __future__ import annotations
+
+import threading
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.machine import small_test_machine
+from repro.memory.registry import BaseAddressRegistry
+from repro.runtime import Runtime
+from repro.runtime.errors import InjectedCrash
+
+
+def _disjoint(a, b) -> bool:
+    return a.limit <= b.base or b.limit <= a.base
+
+
+def _ring(ctx):
+    comm = ctx.comm_world
+    data = np.arange(32, dtype=np.int64) + ctx.rank
+    acc = zlib.crc32(data.tobytes())
+    comm.send(data, (ctx.rank + 1) % comm.size, tag=0)
+    got = comm.recv(source=(ctx.rank - 1) % comm.size, tag=0, own=True)
+    acc = zlib.crc32(got.tobytes(), acc)
+    return (ctx.rank, acc, int(comm.allreduce(int(acc))))
+
+
+class TestSharedRegistryRegions:
+    def test_runtimes_get_unique_namespaces(self):
+        reg = BaseAddressRegistry()
+        rt1 = Runtime(n_tasks=2, timeout=10.0, registry=reg)
+        rt2 = Runtime(n_tasks=2, timeout=10.0, registry=reg)
+        assert rt1.name != rt2.name
+        assert rt1.memory.namespace == rt1.name
+        rt1.finalize()
+        rt2.finalize()
+
+    def test_explicit_names_carry_through(self):
+        reg = BaseAddressRegistry()
+        rt = Runtime(n_tasks=2, timeout=10.0, registry=reg, name="jobX")
+        assert rt.name == "jobX"
+        assert rt.memory.namespace == "jobX"
+        rt.finalize()
+
+    def test_arena_regions_pairwise_disjoint_across_runtimes(self):
+        reg = BaseAddressRegistry()
+        machine = small_test_machine(n_nodes=2)
+        rts = [Runtime(machine, n_tasks=4, timeout=10.0, registry=reg)
+               for _ in range(3)]
+        for rt in rts:
+            rt.run(_ring)
+        for i, a_rt in enumerate(rts):
+            for b_rt in rts[i + 1:]:
+                for a in a_rt.memory.arenas():
+                    for b in b_rt.memory.arenas():
+                        assert _disjoint(a, b), (a_rt.name, b_rt.name, a, b)
+        for rt in rts:
+            assert rt.finalize().total_bytes == 0
+
+    def test_hls_segments_namespaced_per_runtime(self):
+        """Isomalloc segment aliasing holds *within* one runtime's
+        nodes (that is the paper's design) but never across sibling
+        runtimes -- each gets its own namespaced segment key."""
+        reg = BaseAddressRegistry()
+        machine = small_test_machine(n_nodes=2)
+        rt1 = Runtime(machine, n_tasks=4, timeout=10.0, registry=reg)
+        rt2 = Runtime(machine, n_tasks=4, timeout=10.0, registry=reg)
+        a0, a1 = rt1.memory.segment_arena(0), rt1.memory.segment_arena(1)
+        b0 = rt2.memory.segment_arena(0)
+        assert a0.base == a1.base            # aliasing inside rt1
+        assert a0.base != b0.base            # never across runtimes
+        assert _disjoint(a0, b0)
+        rt1.finalize()
+        rt2.finalize()
+
+    def test_no_registry_still_works_solo(self):
+        """Without a shared registry the historical (un-prefixed)
+        reservation names are used -- fully backward compatible."""
+        rt = Runtime(n_tasks=2, timeout=10.0)
+        assert rt.name is None
+        assert rt.memory.namespace == ""
+        rt.run(_ring)
+        assert rt.finalize().total_bytes == 0
+
+
+class TestIndependentMetrics:
+    @pytest.mark.parametrize("backend", ["threads", "coop"])
+    def test_traffic_on_one_runtime_invisible_to_the_other(self, backend):
+        reg = BaseAddressRegistry()
+        busy = Runtime(n_tasks=4, timeout=10.0, registry=reg,
+                       backend=backend)
+        idle = Runtime(n_tasks=4, timeout=10.0, registry=reg,
+                       backend=backend)
+        busy.run(_ring)
+        busy_snap = busy.metrics().snapshot()
+        idle_snap = idle.metrics().snapshot()
+        assert busy_snap["p2p"]["messages"] >= 4
+        assert idle_snap["p2p"]["messages"] == 0
+        assert idle_snap["faults"]["injections"] == 0
+        busy.finalize()
+        idle.finalize()
+
+    def test_leak_report_scoped_to_the_leaking_runtime(self):
+        reg = BaseAddressRegistry()
+        leaky = Runtime(n_tasks=2, timeout=10.0, registry=reg)
+        clean = Runtime(n_tasks=2, timeout=10.0, registry=reg)
+
+        def leak(ctx):
+            if ctx.rank == 0:
+                ctx.alloc(4096, label="stranded", kind="hls")
+            ctx.comm_world.barrier()
+
+        leaky.run(leak)
+        clean.run(_ring)
+        clean_report = clean.finalize()
+        leaky_report = leaky.finalize()
+        assert clean_report.total_bytes == 0
+        assert leaky_report.total_bytes == 4096
+
+
+class TestConcurrentIsolation:
+    """The tenancy property, at runtime granularity: jobs running *at
+    the same time* in one process, one of them crashing or leaking,
+    leave the other's results bit-identical to a solo run."""
+
+    @pytest.mark.parametrize("backend", ["threads", "coop"])
+    @pytest.mark.parametrize("sharing", ["private", "shared"])
+    def test_crash_next_door_leaves_results_bit_identical(
+            self, backend, sharing):
+        # solo baseline: what the clean workload returns undisturbed
+        solo = Runtime(n_tasks=4, timeout=15.0, backend=backend,
+                       sharing=sharing)
+        expected = solo.run(_ring)
+        solo.finalize()
+
+        reg = BaseAddressRegistry()
+        plan = FaultPlan.single("p2p.post", "crash", task=0, nth=1)
+        victim = Runtime(n_tasks=4, timeout=15.0, backend=backend,
+                         sharing=sharing, faults=plan, registry=reg)
+        clean = Runtime(n_tasks=4, timeout=15.0, backend=backend,
+                        sharing=sharing, registry=reg)
+        results = {}
+        errors = {}
+        barrier = threading.Barrier(2)
+
+        def drive(name, rt):
+            barrier.wait(10.0)
+            try:
+                results[name] = rt.run(_ring)
+            except BaseException as exc:  # noqa: BLE001
+                errors[name] = exc
+
+        threads = [
+            threading.Thread(target=drive, args=("victim", victim)),
+            threading.Thread(target=drive, args=("clean", clean)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+
+        assert isinstance(errors.get("victim"), InjectedCrash)
+        assert "clean" not in errors
+        assert results["clean"] == expected      # bit-identical
+        assert clean.metrics("faults").snapshot()["injections"] == 0
+        assert clean.finalize().total_bytes == 0
+        victim.finalize()                        # crash strands buffers; ok
+
+    def test_many_concurrent_runtimes_all_complete(self):
+        reg = BaseAddressRegistry()
+        n_runtimes = 8
+        rts = [Runtime(n_tasks=2, timeout=15.0, registry=reg,
+                       backend="coop")
+               for _ in range(n_runtimes)]
+        out = [None] * n_runtimes
+        barrier = threading.Barrier(n_runtimes)
+
+        def drive(i):
+            barrier.wait(15.0)
+            out[i] = rts[i].run(_ring)
+
+        threads = [threading.Thread(target=drive, args=(i,))
+                   for i in range(n_runtimes)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert all(r is not None for r in out)
+        assert len(set(map(tuple, out))) == 1    # same deterministic answer
+        for rt in rts:
+            assert rt.finalize().total_bytes == 0
